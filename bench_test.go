@@ -1,0 +1,285 @@
+// Package repro holds the benchmark harness that regenerates every table and
+// figure of the paper (see DESIGN.md's per-experiment index). Each benchmark
+// runs the corresponding experiment once per iteration at the scale selected
+// by RLBF_BENCH_SCALE (tiny by default so `go test -bench=.` finishes in
+// minutes; set RLBF_BENCH_SCALE=quick or =paper to approach the paper's
+// dimensions — see EXPERIMENTS.md for recorded outputs).
+package repro
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/backfill"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/lublin"
+	"repro/internal/nn"
+	"repro/internal/ppo"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func benchScale(b *testing.B) experiments.Scale {
+	b.Helper()
+	name := os.Getenv("RLBF_BENCH_SCALE")
+	if name == "" {
+		name = "tiny"
+	}
+	sc, ok := experiments.ByName(name)
+	if !ok {
+		b.Fatalf("unknown RLBF_BENCH_SCALE %q", name)
+	}
+	return sc
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (bsld vs prediction accuracy for
+// FCFS/SJF/WFP3/F1 with EASY backfilling on SDSC-SP2).
+func BenchmarkFigure1(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure1(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (workload characteristics of the four
+// traces, generated vs the paper's values).
+func BenchmarkTable2(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table2(sc)
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (RLBackfilling training curves on
+// the four traces with the FCFS base policy).
+func BenchmarkFigure4(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Figure4(sc, experiments.NewZoo(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (bsld of FCFS/SJF x {EASY, EASY-AR,
+// RLBF} plus WFP3/F1 references on the four traces).
+func BenchmarkTable4(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table4(sc, experiments.NewZoo(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5 (cross-trace generality matrix).
+func BenchmarkTable5(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table5(sc, experiments.NewZoo(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkAblationSkip measures the skip-action design choice.
+func BenchmarkAblationSkip(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationSkip(sc, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkAblationPenalty sweeps the reservation-violation penalty.
+func BenchmarkAblationPenalty(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationPenalty(sc, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkAblationObs sweeps MAX_OBSV_SIZE.
+func BenchmarkAblationObs(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.AblationObs(sc, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// BenchmarkConservative compares no backfilling, EASY and conservative
+// backfilling (related-work baseline).
+func BenchmarkConservative(b *testing.B) {
+	sc := benchScale(b)
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.ConservativeCompare(sc, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.String())
+		}
+	}
+}
+
+// ---- micro-benchmarks for the substrates ----
+
+// BenchmarkSimulatorEASY measures raw simulator throughput: one 2000-job
+// SDSC-SP2 replay with FCFS+EASY per iteration.
+func BenchmarkSimulatorEASY(b *testing.B) {
+	tr := trace.SyntheticSDSCSP2(2000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr.Clone(), sim.Config{
+			Policy:     sched.FCFS{},
+			Backfiller: backfill.NewEASY(backfill.RequestTime{}),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorConservative measures the profile-based conservative
+// backfilling cost on the same workload.
+func BenchmarkSimulatorConservative(b *testing.B) {
+	tr := trace.SyntheticSDSCSP2(500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr.Clone(), sim.Config{
+			Policy:     sched.FCFS{},
+			Backfiller: backfill.NewConservative(backfill.RequestTime{}),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelForward measures one kernel-network score (the inner loop
+// of every RL decision).
+func BenchmarkKernelForward(b *testing.B) {
+	rng := stats.NewRNG(1)
+	m := nn.NewMLP([]int{core.JobFeatures, 32, 16, 8, 1}, nn.ReLU, rng)
+	cache := nn.NewCache(m)
+	x := make([]float64, core.JobFeatures)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Forward(x, cache)
+	}
+}
+
+// BenchmarkPPOUpdate measures one PPO update over a synthetic batch of 512
+// decisions with 16-slot observations.
+func BenchmarkPPOUpdate(b *testing.B) {
+	rng := stats.NewRNG(2)
+	const slots, feat = 16, core.JobFeatures
+	policy := nn.NewMLP([]int{feat, 32, 16, 8, 1}, nn.ReLU, rng)
+	value := nn.NewMLP([]int{feat * slots, 64, 32, 1}, nn.ReLU, rng)
+	cfg := ppo.DefaultConfig()
+	cfg.PiIters = 5
+	cfg.VIters = 5
+	cfg.MiniBatch = 0
+	p := ppo.New(policy, value, cfg)
+
+	mkTraj := func() ppo.Trajectory {
+		steps := make([]ppo.Step, 8)
+		for si := range steps {
+			obs := make([][]float64, slots)
+			mask := make([]bool, slots)
+			flat := make([]float64, feat*slots)
+			for i := 0; i < slots; i++ {
+				row := make([]float64, feat)
+				for k := range row {
+					row[k] = rng.Float64()
+				}
+				obs[i] = row
+				mask[i] = true
+				copy(flat[i*feat:], row)
+			}
+			steps[si] = ppo.Step{Obs: obs, FlatObs: flat, Mask: mask, Action: rng.Intn(slots),
+				LogP: -2.77, Value: 0, Reward: rng.Float64()}
+		}
+		return ppo.Trajectory{Steps: steps}
+	}
+	trajs := make([]ppo.Trajectory, 64)
+	for i := range trajs {
+		trajs[i] = mkTraj()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Update(trajs)
+	}
+}
+
+// BenchmarkLublinGenerate measures workload-model throughput (1000 jobs per
+// iteration).
+func BenchmarkLublinGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = lublin.Generate1(1000, uint64(i))
+	}
+}
+
+// BenchmarkSWFRoundTrip measures SWF serialisation of a 1000-job trace.
+func BenchmarkSWFRoundTrip(b *testing.B) {
+	tr := trace.SyntheticHPC2N(1000, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb writerCounter
+		if err := trace.WriteSWF(&sb, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type writerCounter struct{ n int }
+
+func (w *writerCounter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }

@@ -1,0 +1,115 @@
+// Command rlbf-sim replays a workload through the scheduling simulator with
+// a chosen base policy and backfilling strategy, printing the scheduling
+// metrics, a utilization sparkline, and (optionally) a per-job CSV.
+//
+// Usage:
+//
+//	rlbf-sim -trace sdsc-sp2 -policy SJF -backfill easy
+//	rlbf-sim -trace lublin-1 -policy F1 -backfill conservative -csv jobs.csv
+//	rlbf-sim -trace hpc2n -policy FCFS -backfill rlbf -model rl.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/backfill"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	traceArg := flag.String("trace", "sdsc-sp2", "built-in workload name or SWF file path")
+	jobs := flag.Int("jobs", 5000, "jobs to use from the trace")
+	seed := flag.Uint64("seed", 1, "generator seed for built-in workloads")
+	policyArg := flag.String("policy", "FCFS", "FCFS, SJF, WFP3, F1, F2, F3, F4 or SAF")
+	bfArg := flag.String("backfill", "easy", "none, easy, easy-ar, easy-sjf, conservative, slack or rlbf")
+	modelArg := flag.String("model", "", "model file for -backfill rlbf")
+	noise := flag.Float64("noise", 0, "prediction noise level for easy (+x, e.g. 0.2)")
+	csvPath := flag.String("csv", "", "write per-job records to this CSV file")
+	flag.Parse()
+
+	policy, err := sched.ByNameExtended(*policyArg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	tr, err := experiments.ResolveTrace(*traceArg, *jobs, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	est := experiments.Estimator(tr)
+	if *noise > 0 {
+		est = backfill.Noisy{Level: *noise, Seed: *seed + 77}
+	}
+
+	var bf backfill.Backfiller
+	switch strings.ToLower(*bfArg) {
+	case "none":
+	case "easy":
+		bf = backfill.NewEASY(est)
+	case "easy-ar":
+		bf = backfill.NewEASY(backfill.ActualRuntime{})
+	case "easy-sjf":
+		bf = &backfill.EASY{Est: est, Order: backfill.SJFOrder}
+	case "conservative":
+		bf = backfill.NewConservative(est)
+	case "slack":
+		bf = backfill.NewSlack(est)
+	case "rlbf":
+		if *modelArg == "" {
+			fatal("-backfill rlbf needs -model")
+		}
+		m, err := core.LoadModelFile(*modelArg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		agent, err := m.Agent()
+		if err != nil {
+			fatal("%v", err)
+		}
+		bf = agent
+	default:
+		fatal("unknown backfill strategy %q", *bfArg)
+	}
+
+	probe := &sim.TimelineProbe{}
+	res, err := sim.Run(tr, sim.Config{Policy: policy, Backfiller: bf, Probe: probe})
+	if err != nil {
+		fatal("%v", err)
+	}
+	bfName := "none"
+	if bf != nil {
+		bfName = bf.Name()
+	}
+	fmt.Printf("%s | policy %s | backfill %s\n", trace.ComputeStats(tr), policy.Name(), bfName)
+	fmt.Println(res.Summary)
+	fmt.Println(probe)
+	fmt.Printf("util |%s|\n", probe.Sparkline(72))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintln(f, "job,submit,start,end,wait,procs,runtime,request,bsld")
+		for _, r := range res.Records {
+			fmt.Fprintf(f, "%d,%d,%d,%d,%d,%d,%d,%d,%.3f\n",
+				r.Job.ID, r.Job.Submit, r.Start, r.End, r.Wait(), r.Job.Procs,
+				r.Job.Runtime, r.Job.Request, r.BoundedSlowdown())
+		}
+		if err := f.Close(); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(res.Records), *csvPath)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rlbf-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command tracegen generates a synthetic workload (SDSC-SP2/HPC2N surrogate
+// or Lublin model) and writes it in Standard Workload Format, so it can be
+// inspected or fed to other SWF-consuming tools.
+//
+// Usage:
+//
+//	tracegen -workload lublin-1 -n 10000 -seed 7 -o lublin1.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "sdsc-sp2", "sdsc-sp2, hpc2n, lublin-1 or lublin-2")
+	n := flag.Int("n", 10000, "number of jobs")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output SWF path (default stdout)")
+	flag.Parse()
+
+	tr, err := experiments.ResolveTrace(*workload, *n, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteSWF(w, tr); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d jobs to %s\n", tr.Len(), *out)
+	}
+}

@@ -1,0 +1,39 @@
+// Command traceinfo prints Table 2-style characteristics for workloads:
+// built-in names or SWF files.
+//
+// Usage:
+//
+//	traceinfo sdsc-sp2 hpc2n lublin-1 lublin-2
+//	traceinfo /data/HPC2N-2002-2.2-cln.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "jobs to generate for built-in workloads (SWF files use all jobs)")
+	seed := flag.Uint64("seed", 1, "generator seed for built-in workloads")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"sdsc-sp2", "hpc2n", "lublin-1", "lublin-2"}
+	}
+	exit := 0
+	for _, arg := range args {
+		tr, err := experiments.ResolveTrace(arg, *n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+			exit = 1
+			continue
+		}
+		fmt.Println(trace.ComputeStats(tr).String())
+	}
+	os.Exit(exit)
+}

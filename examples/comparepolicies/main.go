@@ -1,0 +1,66 @@
+// Comparepolicies runs every Table 3 base policy against every backfilling
+// strategy on all four of the paper's workloads — a compact scheduler
+// shoot-out built on the public simulation API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/backfill"
+	"repro/internal/lublin"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	workloads := []*trace.Trace{
+		trace.SyntheticSDSCSP2(2000, 5),
+		trace.SyntheticHPC2N(2000, 5),
+		lublin.Generate1(2000, 5),
+		lublin.Generate2(2000, 5),
+	}
+	for _, w := range workloads {
+		fmt.Println(trace.ComputeStats(w))
+	}
+	fmt.Println()
+
+	type strat struct {
+		name string
+		mk   func(tr *trace.Trace) backfill.Backfiller
+	}
+	strategies := []strat{
+		{"none", func(*trace.Trace) backfill.Backfiller { return nil }},
+		{"EASY", func(tr *trace.Trace) backfill.Backfiller {
+			// Lublin traces have no user estimates: request == actual.
+			return backfill.NewEASY(backfill.RequestTime{})
+		}},
+		{"EASY-AR", func(*trace.Trace) backfill.Backfiller {
+			return backfill.NewEASY(backfill.ActualRuntime{})
+		}},
+		{"CONS", func(*trace.Trace) backfill.Backfiller {
+			return backfill.NewConservative(backfill.RequestTime{})
+		}},
+	}
+
+	fmt.Printf("%-10s %-6s", "trace", "policy")
+	for _, s := range strategies {
+		fmt.Printf(" %10s", s.name)
+	}
+	fmt.Println("   (mean bounded slowdown; lower is better)")
+
+	for _, w := range workloads {
+		for _, p := range sched.All() {
+			fmt.Printf("%-10s %-6s", w.Name, p.Name())
+			for _, s := range strategies {
+				res, err := sim.Run(w.Clone(), sim.Config{Policy: p, Backfiller: s.mk(w)})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %10.2f", res.Summary.MeanBSLD)
+			}
+			fmt.Println()
+		}
+	}
+}

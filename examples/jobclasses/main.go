@@ -1,0 +1,42 @@
+// Jobclasses shows which kinds of jobs backfilling helps: it schedules the
+// same workload with and without EASY backfilling and breaks the bounded
+// slowdown down by the classic short/long x narrow/wide quadrants, alongside
+// a utilization timeline from the simulator probe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/backfill"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	workload := trace.SyntheticSDSCSP2(3000, 21)
+	fmt.Println(trace.Analyze(workload))
+
+	run := func(name string, bf backfill.Backfiller) {
+		probe := &sim.TimelineProbe{}
+		res, err := sim.Run(workload.Clone(), sim.Config{
+			Policy:     sched.FCFS{},
+			Backfiller: bf,
+			Probe:      probe,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", name)
+		fmt.Println(res.Summary)
+		fmt.Printf("util |%s|\n", probe.Sparkline(64))
+		fmt.Print(metrics.ComputeBreakdown(res.Records))
+		fmt.Println()
+	}
+
+	run("FCFS without backfilling", nil)
+	run("FCFS + EASY", backfill.NewEASY(backfill.RequestTime{}))
+	run("FCFS + conservative", backfill.NewConservative(backfill.RequestTime{}))
+}

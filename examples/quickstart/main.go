@@ -1,0 +1,52 @@
+// Quickstart: generate a workload, schedule it under FCFS with EASY
+// backfilling, and print the scheduling metrics — the minimal end-to-end use
+// of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. A 2,000-job surrogate of the SDSC-SP2 workload (128 processors).
+	workload := trace.SyntheticSDSCSP2(2000, 42)
+	fmt.Println("workload:", trace.ComputeStats(workload))
+
+	// 2. Schedule it three ways: no backfilling, EASY on user request times,
+	//    EASY on perfect runtime predictions.
+	configs := []struct {
+		name string
+		bf   backfill.Backfiller
+	}{
+		{"FCFS (no backfilling)", nil},
+		{"FCFS + EASY", backfill.NewEASY(backfill.RequestTime{})},
+		{"FCFS + EASY-AR", backfill.NewEASY(backfill.ActualRuntime{})},
+	}
+	for _, c := range configs {
+		res, err := sim.Run(workload.Clone(), sim.Config{Policy: sched.FCFS{}, Backfiller: c.bf})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %s\n", c.name, res.Summary)
+	}
+
+	// 3. Per-job detail for the first few jobs of the EASY run.
+	res, err := sim.Run(workload.Clone(), sim.Config{
+		Policy:     sched.FCFS{},
+		Backfiller: backfill.NewEASY(backfill.RequestTime{}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirst scheduled jobs (EASY):")
+	for _, r := range res.Records[:8] {
+		fmt.Printf("  job %4d: submit %7d  start %7d  wait %6d  procs %3d  bsld %.2f\n",
+			r.Job.ID, r.Job.Submit, r.Start, r.Wait(), r.Job.Procs, r.BoundedSlowdown())
+	}
+}

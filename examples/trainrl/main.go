@@ -1,0 +1,66 @@
+// Trainrl trains an RLBackfilling agent end-to-end on a small workload and
+// compares it against the EASY baselines — a miniature of the paper's
+// Table 4 experiment that finishes in about a minute.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/backfill"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	workload := trace.SyntheticSDSCSP2(3000, 11)
+	fmt.Println("workload:", trace.ComputeStats(workload))
+
+	// Scaled-down training (identical code path to the paper-scale run; see
+	// DESIGN.md). The reward per §3.4 is the bsld improvement over FCFS with
+	// SJF-ordered EASY backfilling.
+	cfg := core.QuickTrainConfig()
+	cfg.Seed = 11
+	trainer, err := core.NewTrainer(workload, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraining: %d trajectories x %d jobs per epoch, MaxObs=%d\n",
+		cfg.TrajPerEpoch, cfg.EpisodeLen, cfg.Obs.MaxObs)
+	_, err = trainer.Train(6, func(st core.EpochStats) {
+		fmt.Printf("  epoch %d: bsld=%7.2f baseline=%7.2f reward=%+.3f decisions=%d violations=%d\n",
+			st.Epoch, st.MeanBSLD, st.BaselineBSLD, st.MeanReward, st.Steps, st.Violations)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate on longer, unseen sequences (the paper's §4.3 protocol).
+	eval := core.EvalConfig{Sequences: 5, SeqLen: 512, Seed: 99}
+	fmt.Printf("\nevaluation: %d sequences x %d jobs, FCFS base policy\n", eval.Sequences, eval.SeqLen)
+
+	easy, _, err := core.EvaluateStrategy(workload, sched.FCFS{}, backfill.NewEASY(backfill.RequestTime{}), eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	easyAR, _, err := core.EvaluateStrategy(workload, sched.FCFS{}, backfill.NewEASY(backfill.ActualRuntime{}), eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rl, _, err := core.EvaluateAgent(trainer.Agent(), workload, sched.FCFS{}, eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("  FCFS+EASY    bsld %7.2f\n", easy)
+	fmt.Printf("  FCFS+EASY-AR bsld %7.2f\n", easyAR)
+	fmt.Printf("  FCFS+RLBF    bsld %7.2f (%.0f%% vs EASY)\n", rl, 100*(easy-rl)/easy)
+
+	// Persist the model for rlbf-eval / Table 5-style transfer.
+	model := core.ExportModel(trainer.Agent(), "FCFS", workload.Name, 6)
+	if err := core.SaveModelFile("rlbf-quickstart-model.json", model); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsaved model to rlbf-quickstart-model.json")
+}

@@ -1,0 +1,89 @@
+// Package backfill implements the heuristic backfilling strategies the paper
+// builds on and compares against: EASY backfilling driven by pluggable
+// runtime estimators (user request time, ideal actual-runtime prediction, or
+// noisy predictions), and conservative backfilling as the classic
+// related-work baseline. The reinforcement-learning backfiller in
+// internal/core plugs into the same Backfiller interface.
+package backfill
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Running describes one executing job as seen by a backfiller.
+type Running struct {
+	Job   *trace.Job
+	Start int64
+}
+
+// State is the simulator surface a backfiller may use. It is defined here
+// (and implemented by internal/sim) so backfilling strategies stay decoupled
+// from the engine.
+type State interface {
+	// Now returns the current simulation time.
+	Now() int64
+	// FreeProcs returns the number of idle processors.
+	FreeProcs() int
+	// TotalProcs returns the machine size.
+	TotalProcs() int
+	// Running returns the currently executing jobs (any order).
+	Running() []Running
+	// StartJob begins executing a waiting job immediately. It panics if the
+	// job does not fit; callers must check FreeProcs first.
+	StartJob(j *trace.Job)
+}
+
+// Backfiller selects lower-priority jobs to run when the head of the queue
+// cannot start. Backfill is invoked with the head job (the paper's "relative
+// job", rjob) and the rest of the waiting queue in base-policy order; the
+// implementation starts zero or more of those jobs via st.StartJob.
+type Backfiller interface {
+	Name() string
+	Backfill(st State, head *trace.Job, queue []*trace.Job)
+}
+
+// Reservation is the head job's earliest-start guarantee under a given
+// estimator: the shadow time at which enough processors free up, and the
+// processors left over ("extra") at that moment.
+type Reservation struct {
+	Shadow int64 // earliest estimated start time of the head job
+	Extra  int   // processors free at Shadow beyond the head's need
+}
+
+// ComputeReservation derives the head job's reservation from the running
+// jobs' estimated completions (start + estimate). This is the core EASY
+// bookkeeping (§2.1.3); the RL agent reuses it to detect reservation
+// violations.
+func ComputeReservation(st State, head *trace.Job, est Estimator) Reservation {
+	free := st.FreeProcs()
+	if free >= head.Procs {
+		return Reservation{Shadow: st.Now(), Extra: free - head.Procs}
+	}
+	running := append([]Running(nil), st.Running()...)
+	sort.Slice(running, func(a, b int) bool {
+		ea := running[a].Start + est.Estimate(running[a].Job)
+		eb := running[b].Start + est.Estimate(running[b].Job)
+		if ea != eb {
+			return ea < eb
+		}
+		return running[a].Job.ID < running[b].Job.ID
+	})
+	avail := free
+	for _, r := range running {
+		avail += r.Job.Procs
+		if avail >= head.Procs {
+			end := r.Start + est.Estimate(r.Job)
+			if end < st.Now() {
+				// The job has outlived its estimate (possible when the
+				// estimator underestimates); it can finish at any moment.
+				end = st.Now()
+			}
+			return Reservation{Shadow: end, Extra: avail - head.Procs}
+		}
+	}
+	// Unreachable for valid traces (head.Procs <= machine size), but return
+	// a conservative answer instead of panicking on malformed input.
+	return Reservation{Shadow: st.Now(), Extra: 0}
+}

@@ -1,0 +1,137 @@
+package backfill
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// Conservative implements conservative backfilling (Mu'alem & Feitelson
+// 2001), the classic related-work baseline (§5): every waiting job gets a
+// reservation in a future availability profile, and a candidate may be
+// backfilled only if starting it now delays no earlier reservation. It is
+// stricter than EASY (which protects only the head job) and is used here as
+// an ablation baseline rather than a paper table entry.
+type Conservative struct {
+	Est Estimator
+}
+
+// NewConservative returns conservative backfilling with the given estimator.
+func NewConservative(est Estimator) *Conservative { return &Conservative{Est: est} }
+
+// Name implements Backfiller.
+func (c *Conservative) Name() string { return "CONS-" + c.Est.Name() }
+
+// Backfill implements Backfiller.
+func (c *Conservative) Backfill(st State, head *trace.Job, queue []*trace.Job) {
+	for {
+		started := c.backfillOne(st, head, queue)
+		if started == nil {
+			return
+		}
+		// remove the started job from the local queue view
+		out := queue[:0]
+		for _, j := range queue {
+			if j != started {
+				out = append(out, j)
+			}
+		}
+		queue = out
+	}
+}
+
+// backfillOne builds the availability profile (running jobs + reservations
+// for the head and every queued job in order) and starts the first candidate
+// whose immediate execution leaves all reservations intact. It returns the
+// started job, or nil.
+func (c *Conservative) backfillOne(st State, head *trace.Job, queue []*trace.Job) *trace.Job {
+	now := st.Now()
+
+	reserve := func(p *cluster.Profile, skip *trace.Job) bool {
+		// head first, then the queued jobs in policy order
+		jobs := append([]*trace.Job{head}, queue...)
+		for _, j := range jobs {
+			if j == skip {
+				continue
+			}
+			dur := c.Est.Estimate(j)
+			start := p.FindStart(now, dur, j.Procs)
+			if err := p.Reserve(start, start+dur, j.Procs); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+
+	baseline := c.profile(st, now)
+	if !reserve(baseline, nil) {
+		return nil
+	}
+	starts := c.reservationStarts(st, now, head, queue)
+
+	for _, j := range queue {
+		if j.Procs > st.FreeProcs() {
+			continue
+		}
+		// Tentatively run j now, then re-reserve everyone else; accept only
+		// if nobody's start moves later.
+		p := c.profile(st, now)
+		dur := c.Est.Estimate(j)
+		if p.MinFree(now, now+dur) < j.Procs {
+			continue
+		}
+		if err := p.Reserve(now, now+dur, j.Procs); err != nil {
+			continue
+		}
+		ok := true
+		jobs := append([]*trace.Job{head}, queue...)
+		for _, o := range jobs {
+			if o == j {
+				continue
+			}
+			odur := c.Est.Estimate(o)
+			s := p.FindStart(now, odur, o.Procs)
+			if err := p.Reserve(s, s+odur, o.Procs); err != nil {
+				ok = false
+				break
+			}
+			if s > starts[o.ID] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			st.StartJob(j)
+			return j
+		}
+	}
+	return nil
+}
+
+// profile builds the availability profile implied by the running jobs'
+// estimated completions.
+func (c *Conservative) profile(st State, now int64) *cluster.Profile {
+	p := cluster.NewProfile(st.TotalProcs(), now)
+	for _, r := range st.Running() {
+		end := r.Start + c.Est.Estimate(r.Job)
+		if end <= now {
+			end = now + 1 // overdue job: assume it releases imminently
+		}
+		// Running jobs always fit by construction.
+		_ = p.Reserve(now, end, r.Job.Procs)
+	}
+	return p
+}
+
+// reservationStarts computes each waiting job's reserved start under the
+// current profile, used as the "no one gets later" yardstick.
+func (c *Conservative) reservationStarts(st State, now int64, head *trace.Job, queue []*trace.Job) map[int]int64 {
+	p := c.profile(st, now)
+	starts := make(map[int]int64, len(queue)+1)
+	for _, j := range append([]*trace.Job{head}, queue...) {
+		dur := c.Est.Estimate(j)
+		s := p.FindStart(now, dur, j.Procs)
+		_ = p.Reserve(s, s+dur, j.Procs)
+		starts[j.ID] = s
+	}
+	return starts
+}

@@ -1,0 +1,87 @@
+package backfill
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// CandidateOrder selects the order in which EASY scans backfill candidates.
+type CandidateOrder int
+
+const (
+	// PolicyOrder keeps the base scheduling policy's queue order (classic
+	// EASY behaviour).
+	PolicyOrder CandidateOrder = iota
+	// SJFOrder scans shortest-estimate-first. The paper's reward baseline
+	// (§3.4) is FCFS scheduling with SJF-ordered backfilling.
+	SJFOrder
+)
+
+// EASY implements aggressive (single-reservation) EASY backfilling (Lifka
+// 1995, §2.1.3 of the paper): when the head job cannot start, compute its
+// reservation and start any later job that fits the free processors and
+// either finishes (per the estimator) before the shadow time or only uses
+// the extra processors.
+type EASY struct {
+	// Est supplies predicted runtimes for both the reservation and the
+	// candidate-fit test. RequestTime{} gives plain EASY; ActualRuntime{}
+	// gives the paper's EASY-AR; Noisy{...} gives Figure 1's error sweep.
+	Est Estimator
+	// Order controls candidate scan order (PolicyOrder by default).
+	Order CandidateOrder
+}
+
+// NewEASY returns EASY backfilling with the given estimator and the classic
+// policy-order candidate scan.
+func NewEASY(est Estimator) *EASY { return &EASY{Est: est} }
+
+// Name implements Backfiller.
+func (e *EASY) Name() string {
+	n := "EASY-" + e.Est.Name()
+	if e.Order == SJFOrder {
+		n += "-SJF"
+	}
+	return n
+}
+
+// Backfill implements Backfiller.
+func (e *EASY) Backfill(st State, head *trace.Job, queue []*trace.Job) {
+	res := ComputeReservation(st, head, e.Est)
+	now := st.Now()
+	free := st.FreeProcs()
+	extra := res.Extra
+
+	cands := queue
+	if e.Order == SJFOrder {
+		cands = append([]*trace.Job(nil), queue...)
+		sort.SliceStable(cands, func(a, b int) bool {
+			ea, eb := e.Est.Estimate(cands[a]), e.Est.Estimate(cands[b])
+			if ea != eb {
+				return ea < eb
+			}
+			return cands[a].ID < cands[b].ID
+		})
+	}
+
+	for _, j := range cands {
+		if j.Procs > free {
+			continue
+		}
+		endsByShadow := now+e.Est.Estimate(j) <= res.Shadow
+		usesExtraOnly := j.Procs <= extra
+		if !endsByShadow && !usesExtraOnly {
+			continue
+		}
+		st.StartJob(j)
+		free -= j.Procs
+		if !endsByShadow {
+			// The job runs past the shadow time, so it permanently consumes
+			// part of the head job's surplus.
+			extra -= j.Procs
+		}
+		if free == 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package backfill
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// Slack implements slack-based backfilling (Talby & Feitelson, IPPS/SPDP
+// 1999), the third classic strategy the paper's related-work section cites
+// alongside EASY and conservative: every waiting job holds a reservation,
+// but a reservation may slip by up to the job's slack — Factor x its own
+// estimated runtime — if that lets another job backfill. Factor 0 degenerates
+// to conservative backfilling; large factors approach EASY's aggressiveness
+// for non-head jobs while the head keeps a hard reservation.
+type Slack struct {
+	Est Estimator
+	// Factor scales each job's allowed delay (default 0.5 when zero-valued
+	// via NewSlack).
+	Factor float64
+}
+
+// NewSlack returns slack-based backfilling with the conventional 0.5 slack
+// factor.
+func NewSlack(est Estimator) *Slack { return &Slack{Est: est, Factor: 0.5} }
+
+// Name implements Backfiller.
+func (s *Slack) Name() string { return "SLACK-" + s.Est.Name() }
+
+// Backfill implements Backfiller.
+func (s *Slack) Backfill(st State, head *trace.Job, queue []*trace.Job) {
+	for {
+		started := s.backfillOne(st, head, queue)
+		if started == nil {
+			return
+		}
+		out := queue[:0]
+		for _, j := range queue {
+			if j != started {
+				out = append(out, j)
+			}
+		}
+		queue = out
+	}
+}
+
+func (s *Slack) backfillOne(st State, head *trace.Job, queue []*trace.Job) *trace.Job {
+	now := st.Now()
+	baseStarts := s.reservationStarts(st, now, head, queue, nil)
+
+	for _, cand := range queue {
+		if cand.Procs > st.FreeProcs() {
+			continue
+		}
+		newStarts := s.reservationStarts(st, now, head, queue, cand)
+		if newStarts == nil {
+			continue
+		}
+		ok := true
+		for _, o := range append([]*trace.Job{head}, queue...) {
+			if o == cand {
+				continue
+			}
+			allowed := baseStarts[o.ID]
+			if o != head {
+				// non-head jobs may slip by Factor x their estimate
+				allowed += int64(s.Factor * float64(s.Est.Estimate(o)))
+			}
+			if newStarts[o.ID] > allowed {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			st.StartJob(cand)
+			return cand
+		}
+	}
+	return nil
+}
+
+// reservationStarts computes each job's planned start in submission of the
+// profile implied by the running jobs, optionally with `runNow` started
+// immediately. It returns nil if runNow cannot start now.
+func (s *Slack) reservationStarts(st State, now int64, head *trace.Job, queue []*trace.Job, runNow *trace.Job) map[int]int64 {
+	p := cluster.NewProfile(st.TotalProcs(), now)
+	for _, r := range st.Running() {
+		end := r.Start + s.Est.Estimate(r.Job)
+		if end <= now {
+			end = now + 1
+		}
+		_ = p.Reserve(now, end, r.Job.Procs)
+	}
+	if runNow != nil {
+		dur := s.Est.Estimate(runNow)
+		if p.MinFree(now, now+dur) < runNow.Procs {
+			return nil
+		}
+		if err := p.Reserve(now, now+dur, runNow.Procs); err != nil {
+			return nil
+		}
+	}
+	starts := make(map[int]int64, len(queue)+1)
+	for _, j := range append([]*trace.Job{head}, queue...) {
+		if j == runNow {
+			continue
+		}
+		dur := s.Est.Estimate(j)
+		start := p.FindStart(now, dur, j.Procs)
+		_ = p.Reserve(start, start+dur, j.Procs)
+		starts[j.ID] = start
+	}
+	return starts
+}

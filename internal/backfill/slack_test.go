@@ -1,0 +1,91 @@
+package backfill
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSlackName(t *testing.T) {
+	if NewSlack(RequestTime{}).Name() != "SLACK-RT" {
+		t.Fatal("slack name wrong")
+	}
+}
+
+func TestSlackBackfillsHarmlessJob(t *testing.T) {
+	st := &memState{now: 0, free: 2, total: 10, running: []Running{
+		{Job: job(1, 0, 100, 100, 8), Start: 0},
+	}}
+	head := job(2, 0, 50, 50, 10)
+	short := job(3, 1, 50, 50, 2) // finishes before the head's reservation
+	NewSlack(RequestTime{}).Backfill(st, head, []*trace.Job{short})
+	if len(st.started) != 1 || st.started[0].ID != 3 {
+		t.Fatalf("slack refused a harmless backfill: %v", ids(st.started))
+	}
+}
+
+func TestSlackNeverDelaysHead(t *testing.T) {
+	// The head has zero slack: a candidate that would push the head's start
+	// beyond its reservation must be rejected no matter the factor.
+	st := &memState{now: 0, free: 2, total: 10, running: []Running{
+		{Job: job(1, 0, 100, 100, 8), Start: 0},
+	}}
+	head := job(2, 0, 50, 50, 10)
+	long := job(3, 1, 500, 500, 2) // runs way past the head's shadow
+	s := &Slack{Est: RequestTime{}, Factor: 10}
+	s.Backfill(st, head, []*trace.Job{long})
+	if len(st.started) != 0 {
+		t.Fatalf("slack delayed the head by starting %v", ids(st.started))
+	}
+}
+
+func TestSlackFactorLoosensNonHeadReservations(t *testing.T) {
+	// Machine 10. Running: 8 procs until t=100. Queue (policy order):
+	// head (10 procs, starts at 100), mid (2 procs, 100s), cand (2 procs, 60s).
+	// mid reserves [0,100) on the 2 free procs; starting cand now pushes
+	// mid's start to 60 (a 60s delay = 0.6x mid's 100s estimate).
+	// Factor 0 (conservative) must refuse; factor 1.0 must accept.
+	mk := func() (*memState, *trace.Job, []*trace.Job) {
+		st := &memState{now: 0, free: 2, total: 10, running: []Running{
+			{Job: job(1, 0, 100, 100, 8), Start: 0},
+		}}
+		head := job(2, 0, 50, 50, 10)
+		mid := job(3, 1, 100, 100, 2)
+		cand := job(4, 2, 60, 60, 2)
+		return st, head, []*trace.Job{mid, cand}
+	}
+
+	st0, head0, q0 := mk()
+	(&Slack{Est: RequestTime{}, Factor: 0}).Backfill(st0, head0, q0)
+	for _, j := range st0.started {
+		if j.ID == 4 {
+			t.Fatal("factor 0 (conservative) accepted a delaying backfill")
+		}
+	}
+
+	st1, head1, q1 := mk()
+	(&Slack{Est: RequestTime{}, Factor: 1.0}).Backfill(st1, head1, q1)
+	startedMid := false
+	for _, j := range st1.started {
+		if j.ID == 3 {
+			startedMid = true
+		}
+	}
+	// mid itself fits now and delays nobody, so it must start under any
+	// factor; with factor 1.0 there is room for it.
+	if !startedMid {
+		t.Fatalf("slack failed to start the immediately-runnable job: %v", ids(st1.started))
+	}
+}
+
+func TestSlackSkipsOversizedCandidates(t *testing.T) {
+	st := &memState{now: 0, free: 2, total: 10, running: []Running{
+		{Job: job(1, 0, 100, 100, 8), Start: 0},
+	}}
+	head := job(2, 0, 50, 50, 10)
+	wide := job(3, 1, 10, 10, 4) // wider than the 2 free procs
+	NewSlack(RequestTime{}).Backfill(st, head, []*trace.Job{wide})
+	if len(st.started) != 0 {
+		t.Fatal("slack started a job that does not fit")
+	}
+}

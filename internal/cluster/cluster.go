@@ -1,0 +1,78 @@
+// Package cluster models the homogeneous HPC machine the paper schedules on
+// (§3.2: "we assume the HPC environment is homogeneous"): a pool of
+// interchangeable processors with allocation bookkeeping, plus a future
+// availability profile used by reservation-based (conservative) backfilling.
+package cluster
+
+import "fmt"
+
+// Cluster tracks processor allocations for running jobs.
+type Cluster struct {
+	total int
+	free  int
+	alloc map[int]int // job ID -> processors held
+}
+
+// New creates a cluster with n processors. It panics if n <= 0 (a machine
+// must have capacity; the paper's traces use 128-256).
+func New(n int) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive machine size %d", n))
+	}
+	return &Cluster{total: n, free: n, alloc: make(map[int]int)}
+}
+
+// Total returns the machine size.
+func (c *Cluster) Total() int { return c.total }
+
+// Free returns the number of idle processors.
+func (c *Cluster) Free() int { return c.free }
+
+// Used returns the number of busy processors.
+func (c *Cluster) Used() int { return c.total - c.free }
+
+// Running returns the number of jobs currently holding processors.
+func (c *Cluster) Running() int { return len(c.alloc) }
+
+// Utilization returns the busy fraction in [0, 1].
+func (c *Cluster) Utilization() float64 { return float64(c.Used()) / float64(c.total) }
+
+// Fits reports whether a job needing procs processors can start now.
+func (c *Cluster) Fits(procs int) bool { return procs > 0 && procs <= c.free }
+
+// Alloc reserves procs processors for job id. It returns an error if the job
+// already holds an allocation or the request cannot be satisfied.
+func (c *Cluster) Alloc(id, procs int) error {
+	if procs <= 0 {
+		return fmt.Errorf("cluster: job %d requested %d procs", id, procs)
+	}
+	if _, ok := c.alloc[id]; ok {
+		return fmt.Errorf("cluster: job %d already allocated", id)
+	}
+	if procs > c.free {
+		return fmt.Errorf("cluster: job %d needs %d procs, only %d free", id, procs, c.free)
+	}
+	c.alloc[id] = procs
+	c.free -= procs
+	return nil
+}
+
+// Release frees the processors held by job id.
+func (c *Cluster) Release(id int) error {
+	procs, ok := c.alloc[id]
+	if !ok {
+		return fmt.Errorf("cluster: job %d has no allocation", id)
+	}
+	delete(c.alloc, id)
+	c.free += procs
+	return nil
+}
+
+// Holding returns the processors held by job id (0 if none).
+func (c *Cluster) Holding(id int) int { return c.alloc[id] }
+
+// Reset returns the cluster to the fully idle state.
+func (c *Cluster) Reset() {
+	c.free = c.total
+	c.alloc = make(map[int]int)
+}

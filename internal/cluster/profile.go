@@ -1,0 +1,161 @@
+package cluster
+
+import "fmt"
+
+// Profile is a piecewise-constant availability profile: the number of free
+// processors as a function of future time. Conservative backfilling keeps one
+// reservation per queued job in such a profile; EASY derives its single
+// shadow-time reservation from it as well.
+type Profile struct {
+	total int
+	segs  []segment // sorted by Time; segs[i] spans [segs[i].Time, segs[i+1].Time)
+}
+
+type segment struct {
+	Time int64
+	Free int
+}
+
+// NewProfile creates a profile with all processors free from time `from`
+// onwards.
+func NewProfile(total int, from int64) *Profile {
+	if total <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive profile capacity %d", total))
+	}
+	return &Profile{total: total, segs: []segment{{Time: from, Free: total}}}
+}
+
+// Total returns the profile capacity.
+func (p *Profile) Total() int { return p.total }
+
+// FreeAt returns the free processors at time t. Times before the profile
+// start report the first segment's value.
+func (p *Profile) FreeAt(t int64) int {
+	free := p.segs[0].Free
+	for _, s := range p.segs {
+		if s.Time > t {
+			break
+		}
+		free = s.Free
+	}
+	return free
+}
+
+// MinFree returns the minimum free processors over [start, end).
+func (p *Profile) MinFree(start, end int64) int {
+	if end <= start {
+		return p.FreeAt(start)
+	}
+	min := p.total
+	cur := p.segs[0].Free
+	for i, s := range p.segs {
+		segStart := s.Time
+		var segEnd int64
+		if i+1 < len(p.segs) {
+			segEnd = p.segs[i+1].Time
+		} else {
+			segEnd = end // open-ended tail
+			if segEnd < segStart {
+				segEnd = segStart
+			}
+		}
+		cur = s.Free
+		if segEnd <= start || segStart >= end {
+			if segStart >= end {
+				break
+			}
+			continue
+		}
+		if cur < min {
+			min = cur
+		}
+	}
+	_ = cur
+	return min
+}
+
+// Reserve subtracts procs free processors over [start, end). It returns an
+// error (leaving the profile unchanged) if any instant in the window lacks
+// capacity.
+func (p *Profile) Reserve(start, end int64, procs int) error {
+	if procs <= 0 {
+		return fmt.Errorf("cluster: reserve of %d procs", procs)
+	}
+	if end <= start {
+		return fmt.Errorf("cluster: empty reservation window [%d,%d)", start, end)
+	}
+	if p.MinFree(start, end) < procs {
+		return fmt.Errorf("cluster: insufficient capacity for %d procs in [%d,%d)", procs, start, end)
+	}
+	p.split(start)
+	p.split(end)
+	for i := range p.segs {
+		if p.segs[i].Time >= start && p.segs[i].Time < end {
+			p.segs[i].Free -= procs
+		}
+	}
+	p.coalesce()
+	return nil
+}
+
+// FindStart returns the earliest time >= after at which procs processors are
+// simultaneously free for `duration` seconds.
+func (p *Profile) FindStart(after, duration int64, procs int) int64 {
+	if procs > p.total {
+		procs = p.total // cannot exceed machine; caller validates job size
+	}
+	if duration <= 0 {
+		duration = 1
+	}
+	// Candidate start times: `after` and every segment boundary after it.
+	candidates := []int64{after}
+	for _, s := range p.segs {
+		if s.Time > after {
+			candidates = append(candidates, s.Time)
+		}
+	}
+	for _, c := range candidates {
+		if p.MinFree(c, c+duration) >= procs {
+			return c
+		}
+	}
+	// The tail segment always has Free == total eventually only if nothing is
+	// reserved forever; reservations are finite, so the last boundary works.
+	last := p.segs[len(p.segs)-1].Time
+	if last < after {
+		last = after
+	}
+	return last
+}
+
+// split ensures a segment boundary exists at time t.
+func (p *Profile) split(t int64) {
+	if t <= p.segs[0].Time {
+		return
+	}
+	for i, s := range p.segs {
+		if s.Time == t {
+			return
+		}
+		if s.Time > t {
+			prev := p.segs[i-1].Free
+			p.segs = append(p.segs, segment{})
+			copy(p.segs[i+1:], p.segs[i:])
+			p.segs[i] = segment{Time: t, Free: prev}
+			return
+		}
+	}
+	p.segs = append(p.segs, segment{Time: t, Free: p.segs[len(p.segs)-1].Free})
+}
+
+// coalesce merges adjacent segments with equal free counts.
+func (p *Profile) coalesce() {
+	out := p.segs[:1]
+	for _, s := range p.segs[1:] {
+		if s.Free == out[len(out)-1].Free {
+			continue
+		}
+		out = append(out, s)
+	}
+	p.segs = out
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"repro/internal/backfill"
+	"repro/internal/nn"
+	"repro/internal/ppo"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Agent is the RLBackfilling decision maker. It implements
+// backfill.Backfiller: at every backfill opportunity it repeatedly picks one
+// fitting waiting job (or skip) from the policy network's masked softmax
+// until it skips or no candidate fits (§3.4 "the actions are simply the
+// selected jobs for backfilling").
+//
+// During evaluation the most probable action is taken (§3.3.1); during
+// training (when a recorder is attached) actions are sampled and every
+// decision is logged as a PPO step. A large negative reward is credited when
+// a backfill delays the head job's estimated reservation (§3.4).
+type Agent struct {
+	Policy *nn.MLP // kernel network: JobFeatures -> ... -> 1
+	Value  *nn.MLP // critic: FlatDim -> ... -> 1
+	Obs    ObsConfig
+	// Est provides the runtime estimates used for reservations, the safe
+	// flag, and violation detection. RLBackfilling itself does not need
+	// accurate predictions; the default is the user request time.
+	Est backfill.Estimator
+
+	// rollout state (nil outside training)
+	rec *recorder
+
+	pCache *nn.Cache
+	vCache *nn.Cache
+	scores []float64
+}
+
+type recorder struct {
+	rng              *stats.RNG
+	steps            []ppo.Step
+	violations       int
+	violationPenalty float64
+}
+
+// NetworkSpec controls the network shapes; zero values give the paper's
+// architecture (§3.3: kernel 32-16-8, 3-layer value MLP).
+type NetworkSpec struct {
+	KernelHidden []int
+	ValueHidden  []int
+	Act          nn.Activation
+}
+
+func (s NetworkSpec) withDefaults() NetworkSpec {
+	if len(s.KernelHidden) == 0 {
+		s.KernelHidden = []int{32, 16, 8}
+	}
+	if len(s.ValueHidden) == 0 {
+		s.ValueHidden = []int{64, 32}
+	}
+	if s.Act == "" {
+		s.Act = nn.ReLU
+	}
+	return s
+}
+
+// NewAgent creates an untrained agent with freshly initialised networks.
+func NewAgent(obs ObsConfig, spec NetworkSpec, est backfill.Estimator, seed uint64) *Agent {
+	obs = obs.withDefaults()
+	spec = spec.withDefaults()
+	rng := stats.NewRNG(seed)
+	pSizes := append([]int{JobFeatures}, spec.KernelHidden...)
+	pSizes = append(pSizes, 1)
+	vSizes := append([]int{obs.FlatDim()}, spec.ValueHidden...)
+	vSizes = append(vSizes, 1)
+	if est == nil {
+		est = backfill.RequestTime{}
+	}
+	a := &Agent{
+		Policy: nn.NewMLP(pSizes, spec.Act, rng),
+		Value:  nn.NewMLP(vSizes, spec.Act, rng),
+		Obs:    obs,
+		Est:    est,
+	}
+	a.initBuffers()
+	return a
+}
+
+func (a *Agent) initBuffers() {
+	a.pCache = nn.NewCache(a.Policy)
+	a.vCache = nn.NewCache(a.Value)
+	a.scores = make([]float64, a.Obs.Rows())
+}
+
+// CloneForRollout returns an agent sharing the (read-only) networks but with
+// its own caches and recorder, so parallel rollout workers do not race.
+func (a *Agent) CloneForRollout(rng *stats.RNG, violationPenalty float64) *Agent {
+	c := &Agent{Policy: a.Policy, Value: a.Value, Obs: a.Obs, Est: a.Est}
+	c.initBuffers()
+	c.rec = &recorder{rng: rng, violationPenalty: violationPenalty}
+	return c
+}
+
+// Name implements backfill.Backfiller.
+func (a *Agent) Name() string { return "RLBF" }
+
+// Backfill implements backfill.Backfiller.
+func (a *Agent) Backfill(st backfill.State, head *trace.Job, queue []*trace.Job) {
+	remaining := append([]*trace.Job(nil), queue...)
+	for {
+		res := backfill.ComputeReservation(st, head, a.Est)
+		obs := BuildObservation(a.Obs, st, head, remaining, a.Est, res)
+		if obs.Selectable == 0 {
+			return // nothing can start now; no decision to make
+		}
+		probs := a.distribution(obs)
+
+		var action int
+		if a.rec != nil {
+			action = nn.SampleCategorical(probs, a.rec.rng)
+		} else {
+			action = nn.Argmax(probs)
+		}
+
+		var step *ppo.Step
+		if a.rec != nil {
+			flat := append([]float64(nil), obs.Flat...)
+			rows := make([][]float64, len(obs.Rows))
+			for i := range obs.Rows {
+				rows[i] = flat[i*JobFeatures : (i+1)*JobFeatures]
+			}
+			a.rec.steps = append(a.rec.steps, ppo.Step{
+				Obs:     rows,
+				FlatObs: flat,
+				Mask:    append([]bool(nil), obs.Mask...),
+				Action:  action,
+				LogP:    nn.LogProb(probs, action),
+				Value:   a.Value.Forward(obs.Flat, a.vCache)[0],
+			})
+			step = &a.rec.steps[len(a.rec.steps)-1]
+		}
+
+		if action == obs.SkipRow {
+			return
+		}
+		job := obs.Jobs[action]
+		st.StartJob(job)
+		// Violation check (§3.4): did this action delay the head job's
+		// estimated reservation?
+		after := backfill.ComputeReservation(st, head, a.Est)
+		if after.Shadow > res.Shadow {
+			if a.rec != nil {
+				a.rec.violations++
+				step.Reward += a.rec.violationPenalty
+			}
+		}
+		// drop the started job from the local queue view
+		for i, j := range remaining {
+			if j == job {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+		if len(remaining) == 0 {
+			return
+		}
+	}
+}
+
+func (a *Agent) distribution(obs *Observation) []float64 {
+	for i, row := range obs.Rows {
+		if !obs.Mask[i] {
+			a.scores[i] = 0
+			continue
+		}
+		a.scores[i] = a.Policy.Forward(row, a.pCache)[0]
+	}
+	return nn.MaskedSoftmax(a.scores[:len(obs.Rows)], obs.Mask)
+}
+
+// takeTrajectory finishes a training episode: the terminal reward is added
+// to the last step and the recorded steps are returned (empty when no
+// backfill decision occurred).
+func (a *Agent) takeTrajectory(terminalReward float64) (ppo.Trajectory, int) {
+	steps := a.rec.steps
+	if len(steps) > 0 {
+		steps[len(steps)-1].Reward += terminalReward
+	}
+	v := a.rec.violations
+	a.rec.steps = nil
+	a.rec.violations = 0
+	return ppo.Trajectory{Steps: steps}, v
+}

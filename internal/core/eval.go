@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// EvalConfig mirrors the paper's test protocol (§4.3): nSeq random sequences
+// of SeqLen jobs (paper: 10 sequences of 1024 jobs — four times the training
+// length, to surface overfitting), scheduled with a base policy plus the
+// strategy under test; the mean bounded slowdown over the sequences is
+// reported.
+type EvalConfig struct {
+	Sequences int
+	SeqLen    int
+	Seed      uint64
+}
+
+// DefaultEvalConfig returns the paper's evaluation protocol.
+func DefaultEvalConfig() EvalConfig { return EvalConfig{Sequences: 10, SeqLen: 1024, Seed: 2023} }
+
+// sequenceStarts derives the sequence sample offsets from the seed, so every
+// strategy evaluated with the same config sees the exact same job sequences.
+func sequenceStarts(t *trace.Trace, cfg EvalConfig) []int {
+	rng := stats.NewRNG(cfg.Seed)
+	starts := make([]int, cfg.Sequences)
+	for i := range starts {
+		if t.Len() > cfg.SeqLen {
+			starts[i] = rng.Intn(t.Len() - cfg.SeqLen + 1)
+		}
+	}
+	return starts
+}
+
+// EvaluateStrategy measures a base policy plus heuristic backfiller
+// (nil = no backfilling) under the paper's protocol, returning the mean and
+// per-sequence bounded slowdowns.
+func EvaluateStrategy(t *trace.Trace, base sched.Policy, bf backfill.Backfiller, cfg EvalConfig) (float64, []float64, error) {
+	per := make([]float64, 0, cfg.Sequences)
+	for _, start := range sequenceStarts(t, cfg) {
+		seq := trace.Slice(t, start, cfg.SeqLen)
+		res, err := sim.Run(seq, sim.Config{Policy: base, Backfiller: bf})
+		if err != nil {
+			return 0, nil, err
+		}
+		per = append(per, res.Summary.MeanBSLD)
+	}
+	return stats.Mean(per), per, nil
+}
+
+// EvaluateAgent measures a trained agent (greedy action selection, §3.3.1)
+// under the same protocol. The agent may have been trained on a different
+// trace — that is exactly the paper's generality experiment (Table 5).
+func EvaluateAgent(a *Agent, t *trace.Trace, base sched.Policy, cfg EvalConfig) (float64, []float64, error) {
+	greedy := &Agent{Policy: a.Policy, Value: a.Value, Obs: a.Obs, Est: a.Est}
+	greedy.initBuffers()
+	per := make([]float64, 0, cfg.Sequences)
+	for _, start := range sequenceStarts(t, cfg) {
+		seq := trace.Slice(t, start, cfg.SeqLen)
+		res, err := sim.Run(seq, sim.Config{Policy: base, Backfiller: greedy})
+		if err != nil {
+			return 0, nil, err
+		}
+		per = append(per, res.Summary.MeanBSLD)
+	}
+	return stats.Mean(per), per, nil
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func TestGoalMetric(t *testing.T) {
+	s := metrics.Summary{MeanBSLD: 7, MeanWait: 120}
+	if GoalBSLD.metric(s) != 7 {
+		t.Fatalf("bsld goal = %v", GoalBSLD.metric(s))
+	}
+	if GoalWait.metric(s) != 121 {
+		t.Fatalf("wait goal = %v (should be shifted by 1)", GoalWait.metric(s))
+	}
+	if GoalBSLD.String() != "bsld" || GoalWait.String() != "wait" {
+		t.Fatal("goal names wrong")
+	}
+}
+
+func TestTrainerWithWaitGoal(t *testing.T) {
+	tr := trace.SyntheticSDSCSP2(400, 6)
+	cfg := QuickTrainConfig()
+	cfg.Goal = GoalWait
+	cfg.TrajPerEpoch = 4
+	cfg.EpisodeLen = 60
+	cfg.Obs.MaxObs = 16
+	cfg.PPO.PiIters = 2
+	cfg.PPO.VIters = 2
+	cfg.Workers = 1
+	trainer, err := NewTrainer(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trainer.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// with the wait goal the "bsld" fields carry wait-based values >= 1
+	if st.BaselineBSLD < 1 || st.MeanBSLD < 1 {
+		t.Fatalf("wait-goal metrics implausible: %+v", st)
+	}
+}

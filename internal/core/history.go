@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteHistoryCSV renders training epoch statistics as CSV (one row per
+// epoch) for external plotting — the raw data behind Figure 4.
+func WriteHistoryCSV(w io.Writer, hist []EpochStats) error {
+	if _, err := fmt.Fprintln(w, "epoch,mean_bsld,baseline_bsld,mean_reward,violations,steps,pi_iters,kl,entropy,pi_loss,v_loss"); err != nil {
+		return err
+	}
+	for _, h := range hist {
+		if _, err := fmt.Fprintf(w, "%d,%.4f,%.4f,%.5f,%d,%d,%d,%.6f,%.4f,%.6f,%.6f\n",
+			h.Epoch, h.MeanBSLD, h.BaselineBSLD, h.MeanReward, h.Violations, h.Steps,
+			h.Update.PiIters, h.Update.KL, h.Update.Entropy, h.Update.PiLossLast, h.Update.VLossLast); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BestEpoch returns the index of the epoch with the lowest mean bounded
+// slowdown (-1 for an empty history).
+func BestEpoch(hist []EpochStats) int {
+	best := -1
+	for i, h := range hist {
+		if best < 0 || h.MeanBSLD < hist[best].MeanBSLD {
+			best = i
+		}
+	}
+	return best
+}
+
+// Converged reports whether the reward curve has flattened: the mean reward
+// of the last `window` epochs improved by less than tol over the preceding
+// window. It is a practical stopping signal for open-ended training runs.
+func Converged(hist []EpochStats, window int, tol float64) bool {
+	if window <= 0 || len(hist) < 2*window {
+		return false
+	}
+	var recent, previous float64
+	for _, h := range hist[len(hist)-window:] {
+		recent += h.MeanReward
+	}
+	for _, h := range hist[len(hist)-2*window : len(hist)-window] {
+		previous += h.MeanReward
+	}
+	recent /= float64(window)
+	previous /= float64(window)
+	return recent-previous < tol
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func hist(rewards ...float64) []EpochStats {
+	out := make([]EpochStats, len(rewards))
+	for i, r := range rewards {
+		out[i] = EpochStats{Epoch: i, MeanReward: r, MeanBSLD: 10 - r}
+	}
+	return out
+}
+
+func TestWriteHistoryCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteHistoryCSV(&sb, hist(0.1, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "epoch,mean_bsld") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,") || !strings.HasPrefix(lines[2], "1,") {
+		t.Fatalf("rows wrong: %v", lines[1:])
+	}
+}
+
+func TestBestEpoch(t *testing.T) {
+	if BestEpoch(nil) != -1 {
+		t.Fatal("empty history should give -1")
+	}
+	h := hist(0.1, 0.5, 0.3) // bsld = 9.9, 9.5, 9.7 -> best is index 1
+	if got := BestEpoch(h); got != 1 {
+		t.Fatalf("BestEpoch = %d, want 1", got)
+	}
+}
+
+func TestConverged(t *testing.T) {
+	// strongly improving: not converged
+	improving := hist(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7)
+	if Converged(improving, 3, 0.01) {
+		t.Fatal("improving run reported converged")
+	}
+	// flat: converged
+	flat := hist(0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5)
+	if !Converged(flat, 3, 0.01) {
+		t.Fatal("flat run not reported converged")
+	}
+	// too short: never converged
+	if Converged(hist(0.5, 0.5), 3, 0.01) {
+		t.Fatal("short history reported converged")
+	}
+	if Converged(flat, 0, 0.01) {
+		t.Fatal("zero window reported converged")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/backfill"
+	"repro/internal/trace"
+)
+
+func TestObservationWindowFeature(t *testing.T) {
+	// Shadow at t=100 -> window 100s. A 50s job uses half the window; a 500s
+	// job saturates the feature at 1.
+	st := &fakeState{now: 0, free: 2, total: 10,
+		running: []backfill.Running{{Job: job(1, 0, 100, 100, 8), Start: 0}}}
+	head := job(2, 0, 50, 50, 10)
+	half := job(3, 0, 50, 50, 2)
+	over := job(4, 0, 500, 500, 2)
+	o := buildObs(ObsConfig{MaxObs: 8}, st, head, []*trace.Job{half, over})
+	if got := o.Rows[1][featWindow]; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("half-window feature = %v, want 0.5", got)
+	}
+	if got := o.Rows[2][featWindow]; got != 1 {
+		t.Fatalf("over-window feature = %v, want 1 (capped)", got)
+	}
+}
+
+func TestObservationExtraFitFeature(t *testing.T) {
+	// Running 6 procs until 100; head needs 8 -> shadow 100, extra = (4+6)-8 = 2.
+	st := &fakeState{now: 0, free: 4, total: 10,
+		running: []backfill.Running{{Job: job(1, 0, 100, 100, 6), Start: 0}}}
+	head := job(2, 0, 50, 50, 8)
+	narrow := job(3, 0, 500, 500, 2) // fits the 2 extra procs
+	wide := job(4, 0, 500, 500, 4)   // does not
+	o := buildObs(ObsConfig{MaxObs: 8}, st, head, []*trace.Job{narrow, wide})
+	if o.Rows[1][featExtraFit] != 1 {
+		t.Fatal("narrow job should have the extra-fit flag")
+	}
+	if o.Rows[2][featExtraFit] != 0 {
+		t.Fatal("wide job should not have the extra-fit flag")
+	}
+	// extra-fit implies EASY-safe even for long jobs
+	if o.Rows[1][featSafe] != 1 {
+		t.Fatal("extra-fitting long job should be safe")
+	}
+}
+
+func TestSkipRowAggregates(t *testing.T) {
+	st := &fakeState{now: 0, free: 4, total: 8,
+		running: []backfill.Running{{Job: job(1, 0, 100, 100, 4), Start: 0}}}
+	head := job(2, 0, 50, 50, 8)
+	safe := job(3, 0, 50, 50, 2)     // ends before shadow
+	unsafe := job(4, 0, 500, 500, 4) // overruns, too wide for extra
+	o := buildObs(ObsConfig{MaxObs: 8, SkipAction: true}, st, head, []*trace.Job{safe, unsafe})
+	skip := o.Rows[o.SkipRow]
+	if skip[featSkip] != 1 {
+		t.Fatal("skip indicator not set")
+	}
+	if math.Abs(skip[featSafe]-0.5) > 1e-12 {
+		t.Fatalf("skip safe-fraction = %v, want 0.5 (1 of 2 candidates safe)", skip[featSafe])
+	}
+	if skip[featFree] != 0.5 {
+		t.Fatalf("skip free fraction = %v, want 0.5", skip[featFree])
+	}
+	if math.Abs(skip[featProcs]-2.0/8.0) > 1e-12 {
+		t.Fatalf("skip queue-fill = %v, want 0.25", skip[featProcs])
+	}
+}
+
+func TestSkipRowZeroWhenDisabled(t *testing.T) {
+	st := &fakeState{now: 0, free: 4, total: 8,
+		running: []backfill.Running{{Job: job(1, 0, 100, 100, 4), Start: 0}}}
+	head := job(2, 0, 50, 50, 8)
+	o := buildObs(ObsConfig{MaxObs: 8, SkipAction: false}, st, head, []*trace.Job{job(3, 0, 50, 50, 2)})
+	if o.Mask[o.SkipRow] {
+		t.Fatal("skip selectable while disabled")
+	}
+	for _, v := range o.Rows[o.SkipRow] {
+		if v != 0 {
+			t.Fatal("disabled skip row should stay zero")
+		}
+	}
+}
+
+func TestObservationZeroWindowWhenHeadFits(t *testing.T) {
+	// Head fits immediately: shadow == now, window 0 -> feature saturates.
+	st := &fakeState{now: 50, free: 8, total: 8}
+	head := job(1, 0, 50, 50, 4)
+	o := buildObs(ObsConfig{MaxObs: 4}, st, head, nil)
+	if o.Rows[0][featWindow] != 1 {
+		t.Fatalf("zero-window feature = %v, want 1", o.Rows[0][featWindow])
+	}
+}

@@ -1,0 +1,108 @@
+// Package eventq provides the binary-heap event queue used by the
+// discrete-event scheduling simulator.
+package eventq
+
+// Kind distinguishes the event types of the scheduling simulator.
+type Kind int
+
+const (
+	// Arrive is a job submission event.
+	Arrive Kind = iota
+	// Finish is a job completion event.
+	Finish
+)
+
+// Event is one timed simulator event. Payload carries the subject (a job).
+type Event struct {
+	Time    int64
+	Kind    Kind
+	Seq     int // insertion sequence, breaks ties deterministically
+	Payload any
+}
+
+// Queue is a min-heap of events ordered by (Time, Kind, Seq): completions at
+// time t are processed before arrivals at t so freed processors are visible
+// to the newly arrived job, and insertion order breaks remaining ties for
+// determinism. The zero value is ready to use.
+type Queue struct {
+	h   []Event
+	seq int
+}
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push inserts an event.
+func (q *Queue) Push(e Event) {
+	e.Seq = q.seq
+	q.seq++
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
+}
+
+// Peek returns the earliest event without removing it. ok is false when the
+// queue is empty.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Pop removes and returns the earliest event. ok is false when the queue is
+// empty.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.h[i], q.h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		// Finish < Arrive at equal times: completions free resources first.
+		return a.Kind == Finish && b.Kind == Arrive
+	}
+	return a.Seq < b.Seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,116 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatal("fresh queue not empty")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 30, Kind: Arrive})
+	q.Push(Event{Time: 10, Kind: Arrive})
+	q.Push(Event{Time: 20, Kind: Finish})
+	times := []int64{}
+	for q.Len() > 0 {
+		e, _ := q.Pop()
+		times = append(times, e.Time)
+	}
+	want := []int64{10, 20, 30}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", times, want)
+		}
+	}
+}
+
+func TestFinishBeforeArriveAtSameTime(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 5, Kind: Arrive, Payload: "a"})
+	q.Push(Event{Time: 5, Kind: Finish, Payload: "f"})
+	e, _ := q.Pop()
+	if e.Kind != Finish {
+		t.Fatal("Finish must be processed before Arrive at the same timestamp")
+	}
+}
+
+func TestFIFOAmongTies(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(Event{Time: 7, Kind: Arrive, Payload: i})
+	}
+	for i := 0; i < 10; i++ {
+		e, _ := q.Pop()
+		if e.Payload.(int) != i {
+			t.Fatalf("tie-break not FIFO: got %v at position %d", e.Payload, i)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(Event{Time: 1})
+	if _, ok := q.Peek(); !ok || q.Len() != 1 {
+		t.Fatal("Peek changed queue size")
+	}
+}
+
+// Property: popping yields events in non-decreasing time order for any
+// random push sequence, possibly interleaved with pops.
+func TestHeapProperty(t *testing.T) {
+	rng := stats.NewRNG(99)
+	f := func(n uint8) bool {
+		var q Queue
+		m := int(n%100) + 1
+		pushed := make([]int64, 0, m)
+		for i := 0; i < m; i++ {
+			tm := rng.Int63n(1000)
+			q.Push(Event{Time: tm, Kind: Kind(rng.Intn(2))})
+			pushed = append(pushed, tm)
+			// occasionally pop mid-stream
+			if rng.Bool(0.3) && q.Len() > 0 {
+				e, _ := q.Pop()
+				// remove one instance of e.Time from pushed
+				for k, v := range pushed {
+					if v == e.Time {
+						pushed = append(pushed[:k], pushed[k+1:]...)
+						break
+					}
+				}
+			}
+		}
+		sort.Slice(pushed, func(i, j int) bool { return pushed[i] < pushed[j] })
+		var prev int64 = -1
+		idx := 0
+		for q.Len() > 0 {
+			e, ok := q.Pop()
+			if !ok || e.Time < prev {
+				return false
+			}
+			if idx >= len(pushed) || pushed[idx] != e.Time {
+				return false
+			}
+			prev = e.Time
+			idx++
+		}
+		return idx == len(pushed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/backfill"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// trainVariant trains one model on the SDSC-SP2 surrogate with a config
+// mutation and evaluates it (FCFS base).
+func trainVariant(sc Scale, mutate func(*core.TrainConfig), log io.Writer) (float64, error) {
+	tr := trace.SyntheticSDSCSP2(sc.TraceJobs, sc.Seed+1)
+	cfg := sc.trainConfig(sched.FCFS{}, backfill.RequestTime{})
+	mutate(&cfg)
+	trainer, err := core.NewTrainer(tr, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := trainer.Train(sc.Epochs, nil); err != nil {
+		return 0, err
+	}
+	mean, _, err := core.EvaluateAgent(trainer.Agent(), tr, sched.FCFS{}, sc.Eval)
+	return mean, err
+}
+
+// AblationSkip compares training with and without the learned skip action
+// (DESIGN.md: the paper leaves the "stop backfilling" mechanism implicit).
+func AblationSkip(sc Scale, log io.Writer) (*Table, error) {
+	tbl := &Table{
+		Title:  "Ablation: skip action (SDSC-SP2, FCFS base)",
+		Header: []string{"variant", "bsld"},
+		Notes:  []string{fmt.Sprintf("scale=%s", sc.Name)},
+	}
+	for _, skip := range []bool{true, false} {
+		v, err := trainVariant(sc, func(c *core.TrainConfig) { c.Obs.SkipAction = skip }, log)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("skip=%v", skip), f2(v))
+	}
+	return tbl, nil
+}
+
+// AblationPenalty sweeps the reservation-violation penalty (§3.4 calls for a
+// "large negative reward"; how large matters).
+func AblationPenalty(sc Scale, log io.Writer) (*Table, error) {
+	tbl := &Table{
+		Title:  "Ablation: violation penalty (SDSC-SP2, FCFS base)",
+		Header: []string{"penalty", "bsld"},
+		Notes:  []string{fmt.Sprintf("scale=%s", sc.Name)},
+	}
+	for _, pen := range []float64{0, -1, -5, -20} {
+		pen := pen
+		v, err := trainVariant(sc, func(c *core.TrainConfig) {
+			c.ViolationPenalty = pen
+			if pen == 0 {
+				c.ViolationPenalty = -1e-9 // keep "zero" penalty from defaulting
+			}
+		}, log)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("%.0f", pen), f2(v))
+	}
+	return tbl, nil
+}
+
+// AblationObs sweeps MAX_OBSV_SIZE (§3.3.2 fixes it at 128 but notes it is a
+// configurable training parameter).
+func AblationObs(sc Scale, log io.Writer) (*Table, error) {
+	tbl := &Table{
+		Title:  "Ablation: MAX_OBSV_SIZE (SDSC-SP2, FCFS base)",
+		Header: []string{"MaxObs", "bsld"},
+		Notes:  []string{fmt.Sprintf("scale=%s", sc.Name)},
+	}
+	for _, m := range []int{sc.MaxObs / 2, sc.MaxObs, sc.MaxObs * 2} {
+		if m < 4 {
+			continue
+		}
+		m := m
+		v, err := trainVariant(sc, func(c *core.TrainConfig) { c.Obs.MaxObs = m }, log)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("%d", m), f2(v))
+	}
+	return tbl, nil
+}
+
+// ConservativeCompare pits no-backfilling, EASY and conservative backfilling
+// against each other on every workload (related-work baseline, §5).
+func ConservativeCompare(sc Scale, _ io.Writer) (*Table, error) {
+	tbl := &Table{
+		Title:  "Baseline: no backfilling vs EASY vs conservative (FCFS base, whole trace)",
+		Header: []string{"trace", "none", "EASY", "conservative"},
+		Notes:  []string{fmt.Sprintf("scale=%s jobs=%d", sc.Name, sc.TraceJobs)},
+	}
+	for _, tr := range Workloads(sc.TraceJobs, sc.Seed) {
+		est := estimatorFor(tr)
+		row := []string{tr.Name}
+		for _, bf := range []backfill.Backfiller{nil, backfill.NewEASY(est), backfill.NewConservative(est)} {
+			res, err := sim.Run(tr.Clone(), sim.Config{Policy: sched.FCFS{}, Backfiller: bf})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(res.Summary.MeanBSLD))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

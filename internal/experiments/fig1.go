@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Figure1 reproduces the paper's motivating experiment (§1, Figure 1):
+// schedule the SDSC-SP2 workload with each base policy (FCFS, WFP3, SJF, F1)
+// under EASY backfilling driven by runtime predictions of varying accuracy —
+// the actual runtime (perfect prediction), actual +5/10/20/40/100 % noise,
+// and the raw user request time — and report the average bounded slowdown.
+//
+// Expected shape (paper): better prediction accuracy does NOT monotonically
+// improve bsld; only SJF is best with the perfect prediction.
+func Figure1(sc Scale) (*Table, error) {
+	tr := trace.SyntheticSDSCSP2(sc.TraceJobs, sc.Seed+1)
+	levels := []float64{0, 0.05, 0.10, 0.20, 0.40, 1.00}
+
+	tbl := &Table{
+		Title:  "Figure 1: bsld vs runtime-prediction accuracy on SDSC-SP2 (EASY backfilling)",
+		Header: []string{"policy", "AR", "+5%", "+10%", "+20%", "+40%", "+100%", "RT"},
+		Notes: []string{
+			fmt.Sprintf("scale=%s jobs=%d seed=%d; estimates AR*(1+U(0,x)) per job", sc.Name, sc.TraceJobs, sc.Seed),
+			"paper shape: non-monotone in accuracy for FCFS/WFP3/F1; SJF best at AR",
+		},
+	}
+	for _, p := range sched.All() {
+		row := []string{p.Name()}
+		for _, lvl := range levels {
+			var est backfill.Estimator
+			if lvl == 0 {
+				est = backfill.ActualRuntime{}
+			} else {
+				est = backfill.Noisy{Level: lvl, Seed: sc.Seed + 77}
+			}
+			res, err := sim.Run(tr.Clone(), sim.Config{Policy: p, Backfiller: backfill.NewEASY(est)})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(res.Summary.MeanBSLD))
+		}
+		res, err := sim.Run(tr.Clone(), sim.Config{Policy: p, Backfiller: backfill.NewEASY(backfill.RequestTime{})})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, f2(res.Summary.MeanBSLD))
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

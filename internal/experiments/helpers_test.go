@@ -1,0 +1,12 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+func fcfs() sched.Policy { return sched.FCFS{} }
+
+func evalCfg(sequences, seqLen int) core.EvalConfig {
+	return core.EvalConfig{Sequences: sequences, SeqLen: seqLen, Seed: 7}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// LoadSweep is an extension experiment (DESIGN.md §5): how the heuristic
+// backfilling strategies compare as the offered load scales. It compresses
+// the SDSC-SP2 surrogate's arrivals by factors 0.5-2.0 and reports bsld for
+// no backfilling, EASY, SJF-ordered EASY, conservative and slack-based
+// backfilling under FCFS. The crossover structure (aggressive EASY gaining
+// on conservative as load rises) is the classic result this checks.
+func LoadSweep(sc Scale, _ io.Writer) (*Table, error) {
+	base := trace.SyntheticSDSCSP2(sc.TraceJobs, sc.Seed+1)
+	est := backfill.RequestTime{}
+	strategies := []struct {
+		name string
+		bf   backfill.Backfiller
+	}{
+		{"none", nil},
+		{"EASY", backfill.NewEASY(est)},
+		{"EASY-SJF", &backfill.EASY{Est: est, Order: backfill.SJFOrder}},
+		{"conservative", backfill.NewConservative(est)},
+		{"slack-0.5", backfill.NewSlack(est)},
+	}
+	header := []string{"load factor"}
+	for _, s := range strategies {
+		header = append(header, s.name)
+	}
+	tbl := &Table{
+		Title:  "Load sweep: bsld vs arrival compression (SDSC-SP2, FCFS base)",
+		Header: header,
+		Notes: []string{
+			fmt.Sprintf("scale=%s jobs=%d seed=%d", sc.Name, sc.TraceJobs, sc.Seed),
+			"factor f divides inter-arrival gaps by f (f>1 = more load)",
+		},
+	}
+	for _, f := range []float64{0.5, 0.75, 1.0, 1.5, 2.0} {
+		scaled := trace.ScaleLoad(base, f)
+		row := []string{fmt.Sprintf("%.2f", f)}
+		for _, s := range strategies {
+			res, err := sim.Run(scaled.Clone(), sim.Config{Policy: sched.FCFS{}, Backfiller: s.bf})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(res.Summary.MeanBSLD))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}

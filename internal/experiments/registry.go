@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Runner executes one named experiment at a scale and returns the rendered
+// result.
+type Runner func(sc Scale, log io.Writer) (string, error)
+
+// Registry maps experiment IDs (as used by `rlbf-exp -exp`) to runners. RL
+// experiments share one model zoo per invocation of RunMany.
+func registry(zoo *Zoo) map[string]Runner {
+	return map[string]Runner{
+		"fig1": func(sc Scale, _ io.Writer) (string, error) {
+			t, err := Figure1(sc)
+			return render(t, err)
+		},
+		"table2": func(sc Scale, _ io.Writer) (string, error) {
+			return Table2(sc).String(), nil
+		},
+		"fig4": func(sc Scale, log io.Writer) (string, error) {
+			t, err := Figure4(sc, zoo, log)
+			return render(t, err)
+		},
+		"table4": func(sc Scale, log io.Writer) (string, error) {
+			t, err := Table4(sc, zoo, log)
+			return render(t, err)
+		},
+		"table5": func(sc Scale, log io.Writer) (string, error) {
+			t, err := Table5(sc, zoo, log)
+			return render(t, err)
+		},
+		"ablation-skip": func(sc Scale, log io.Writer) (string, error) {
+			t, err := AblationSkip(sc, log)
+			return render(t, err)
+		},
+		"ablation-penalty": func(sc Scale, log io.Writer) (string, error) {
+			t, err := AblationPenalty(sc, log)
+			return render(t, err)
+		},
+		"ablation-obs": func(sc Scale, log io.Writer) (string, error) {
+			t, err := AblationObs(sc, log)
+			return render(t, err)
+		},
+		"conservative": func(sc Scale, log io.Writer) (string, error) {
+			t, err := ConservativeCompare(sc, log)
+			return render(t, err)
+		},
+		"loadsweep": func(sc Scale, log io.Writer) (string, error) {
+			t, err := LoadSweep(sc, log)
+			return render(t, err)
+		},
+	}
+}
+
+func render(t *Table, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}
+
+// Names lists the available experiment IDs.
+func Names() []string {
+	r := registry(NewZoo())
+	names := make([]string, 0, len(r))
+	for k := range r {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunMany executes the named experiments (or all of them for "all") sharing
+// one model zoo, writing progress to log, and returns the concatenated
+// rendered tables.
+func RunMany(names []string, sc Scale, log io.Writer) (string, error) {
+	zoo := NewZoo()
+	reg := registry(zoo)
+	if len(names) == 1 && names[0] == "all" {
+		names = Names()
+	}
+	var out strings.Builder
+	for _, n := range names {
+		run, ok := reg[n]
+		if !ok {
+			return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", n, strings.Join(Names(), ", "))
+		}
+		if log != nil {
+			fmt.Fprintf(log, "== running %s (scale %s) ==\n", n, sc.Name)
+		}
+		s, err := run(sc, log)
+		if err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", n, err)
+		}
+		out.WriteString(s)
+		out.WriteString("\n")
+	}
+	return out.String(), nil
+}

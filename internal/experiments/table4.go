@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/backfill"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Table4 reproduces the headline result (§4.3): for each workload, the mean
+// bounded slowdown over Eval.Sequences random Eval.SeqLen-job sequences under
+// FCFS/SJF with EASY, EASY-AR and RLBackfilling, plus the WFP3+EASY and
+// F1+EASY reference columns. RLBF models are trained per (policy, trace)
+// pair, exactly as the paper's protocol implies (Table 5's diagonals match
+// Table 4).
+//
+// Expected shape (paper): RLBF beats EASY(RT) on every trace and beats
+// EASY-AR on the archive traces with FCFS; EASY columns are "-" for the
+// Lublin traces, which have no user request times.
+func Table4(sc Scale, zoo *Zoo, log io.Writer) (*Table, error) {
+	tbl := &Table{
+		Title: "Table 4: bsld of base policy + backfilling strategy",
+		Header: []string{"trace", "FCFS+EASY", "FCFS+EASY-AR", "FCFS+RLBF",
+			"SJF+EASY", "SJF+EASY-AR", "SJF+RLBF", "WFP3+EASY", "F1+EASY"},
+		Notes: []string{
+			fmt.Sprintf("scale=%s: eval %d sequences x %d jobs, seed %d",
+				sc.Name, sc.Eval.Sequences, sc.Eval.SeqLen, sc.Eval.Seed),
+			"paper shape: RLBF < EASY everywhere; RLBF < EASY-AR on SDSC-SP2/HPC2N with FCFS",
+		},
+	}
+
+	for _, tr := range Workloads(sc.TraceJobs, sc.Seed) {
+		row := []string{tr.Name}
+		cells, err := table4Row(sc, zoo, tr, log)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, cells...)
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl, nil
+}
+
+func table4Row(sc Scale, zoo *Zoo, tr *trace.Trace, log io.Writer) ([]string, error) {
+	synthetic := isSynthetic(tr)
+	evalHeuristic := func(p sched.Policy, bf backfill.Backfiller) (string, error) {
+		mean, _, err := core.EvaluateStrategy(tr, p, bf, sc.Eval)
+		if err != nil {
+			return "", err
+		}
+		return f2(mean), nil
+	}
+	evalRL := func(p sched.Policy) (string, error) {
+		agent, _, err := zoo.Get(p, tr, sc, log)
+		if err != nil {
+			return "", err
+		}
+		mean, _, err := core.EvaluateAgent(agent, tr, p, sc.Eval)
+		if err != nil {
+			return "", err
+		}
+		return f2(mean), nil
+	}
+
+	var cells []string
+	for _, p := range []sched.Policy{sched.FCFS{}, sched.SJF{}} {
+		// EASY on user request time: undefined for the Lublin traces.
+		if synthetic {
+			cells = append(cells, "-")
+		} else {
+			c, err := evalHeuristic(p, backfill.NewEASY(backfill.RequestTime{}))
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, c)
+		}
+		c, err := evalHeuristic(p, backfill.NewEASY(backfill.ActualRuntime{}))
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+		c, err = evalRL(p)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+	}
+	// WFP3+EASY and F1+EASY reference columns (request time where available).
+	refEst := backfill.Estimator(backfill.RequestTime{})
+	if synthetic {
+		refEst = backfill.ActualRuntime{}
+	}
+	for _, p := range []sched.Policy{sched.WFP3{}, sched.F1{}} {
+		c, err := evalHeuristic(p, backfill.NewEASY(refEst))
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/backfill"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Table5 reproduces the generality matrix (§4.4): a model trained on trace X
+// (column RL-X) is applied to every trace Y (rows), under FCFS and SJF base
+// policies. The EASY and EASY-AR columns are the heuristic baselines on the
+// same sequences.
+//
+// Expected shape (paper): RL-X transferred to Y still beats EASY in most
+// cells, and the diagonal is not always the best column entry.
+func Table5(sc Scale, zoo *Zoo, log io.Writer) (*Table, error) {
+	workloads := Workloads(sc.TraceJobs, sc.Seed)
+	header := []string{"trace", "EASY", "EASY-AR"}
+	for _, tr := range workloads {
+		header = append(header, "RL-"+tr.Name)
+	}
+	tbl := &Table{
+		Title:  "Table 5: generality — model trained on X (columns) applied to trace Y (rows)",
+		Header: header,
+		Notes: []string{
+			fmt.Sprintf("scale=%s: eval %d sequences x %d jobs, seed %d",
+				sc.Name, sc.Eval.Sequences, sc.Eval.SeqLen, sc.Eval.Seed),
+			"paper shape: transferred models beat EASY in most cells",
+		},
+	}
+
+	for _, base := range []sched.Policy{sched.FCFS{}, sched.SJF{}} {
+		tbl.AddRow(fmt.Sprintf("[%s as the base scheduling policy]", base.Name()))
+		// Train (or fetch) one model per source trace under this base policy.
+		for _, y := range workloads {
+			row := []string{y.Name}
+			if isSynthetic(y) {
+				row = append(row, "-")
+			} else {
+				mean, _, err := core.EvaluateStrategy(y, base, backfill.NewEASY(backfill.RequestTime{}), sc.Eval)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(mean))
+			}
+			mean, _, err := core.EvaluateStrategy(y, base, backfill.NewEASY(backfill.ActualRuntime{}), sc.Eval)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(mean))
+			for _, x := range workloads {
+				agent, _, err := zoo.Get(base, x, sc, log)
+				if err != nil {
+					return nil, err
+				}
+				m, _, err := core.EvaluateAgent(agent, y, base, sc.Eval)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(m))
+			}
+			tbl.Rows = append(tbl.Rows, row)
+		}
+	}
+	return tbl, nil
+}

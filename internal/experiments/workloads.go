@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/backfill"
+	"repro/internal/core"
+	"repro/internal/lublin"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Workloads generates the paper's four evaluation traces (Table 2) at the
+// given size: SDSC-SP2 and HPC2N surrogates plus Lublin-1 and Lublin-2.
+func Workloads(n int, seed uint64) []*trace.Trace {
+	return []*trace.Trace{
+		trace.SyntheticSDSCSP2(n, seed+1),
+		trace.SyntheticHPC2N(n, seed+2),
+		lublin.Generate1(n, seed+3),
+		lublin.Generate2(n, seed+4),
+	}
+}
+
+// ResolveTrace returns a workload by built-in name ("sdsc-sp2", "hpc2n",
+// "lublin-1", "lublin-2", case-insensitive) generated with n jobs, or parses
+// the argument as an SWF file path.
+func ResolveTrace(nameOrPath string, n int, seed uint64) (*trace.Trace, error) {
+	switch strings.ToLower(nameOrPath) {
+	case "sdsc-sp2", "sdsc":
+		return trace.SyntheticSDSCSP2(n, seed+1), nil
+	case "hpc2n":
+		return trace.SyntheticHPC2N(n, seed+2), nil
+	case "lublin-1", "lublin1":
+		return lublin.Generate1(n, seed+3), nil
+	case "lublin-2", "lublin2":
+		return lublin.Generate2(n, seed+4), nil
+	}
+	t, err := trace.LoadSWFFile(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %q is neither a built-in workload nor a readable SWF file: %w", nameOrPath, err)
+	}
+	if n > 0 {
+		t = t.Head(n)
+	}
+	return t, nil
+}
+
+// Estimator returns the reservation estimator appropriate for the workload
+// (exported for the CLI tools).
+func Estimator(t *trace.Trace) backfill.Estimator { return estimatorFor(t) }
+
+// estimatorFor returns the reservation estimator for a workload: request
+// time for real-trace surrogates, actual runtime for the Lublin traces
+// (which carry no user estimates, §4.1.2).
+func estimatorFor(t *trace.Trace) backfill.Estimator {
+	if isSynthetic(t) {
+		return backfill.ActualRuntime{}
+	}
+	return backfill.RequestTime{}
+}
+
+func isSynthetic(t *trace.Trace) bool {
+	return t.Name == "Lublin-1" || t.Name == "Lublin-2"
+}
+
+// Zoo holds trained RLBackfilling models keyed by "<policy>/<trace>",
+// shared by Table 4 and Table 5 (the paper trains one model per base policy
+// and trace).
+type Zoo struct {
+	mu     sync.Mutex
+	models map[string]*core.Agent
+	curves map[string][]core.EpochStats
+}
+
+// NewZoo returns an empty model zoo.
+func NewZoo() *Zoo {
+	return &Zoo{models: make(map[string]*core.Agent), curves: make(map[string][]core.EpochStats)}
+}
+
+func zooKey(policy sched.Policy, tr *trace.Trace) string {
+	return policy.Name() + "/" + tr.Name
+}
+
+// Get returns the model for (policy, trace), training it on first use. When
+// the scale disables per-policy models, training always uses FCFS and the
+// resulting agent is shared across base policies (the transfer the paper
+// reports in §1/§4.4).
+func (z *Zoo) Get(policy sched.Policy, tr *trace.Trace, sc Scale, log io.Writer) (*core.Agent, []core.EpochStats, error) {
+	if !sc.PerPolicyModels {
+		policy = sched.FCFS{}
+	}
+	key := zooKey(policy, tr)
+	z.mu.Lock()
+	if a, ok := z.models[key]; ok {
+		curve := z.curves[key]
+		z.mu.Unlock()
+		return a, curve, nil
+	}
+	z.mu.Unlock()
+
+	cfg := sc.trainConfig(policy, estimatorFor(tr))
+	trainer, err := core.NewTrainer(tr, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if log != nil {
+		fmt.Fprintf(log, "training RL-%s (base %s): %d epochs x %d traj x %d jobs\n",
+			tr.Name, policy.Name(), sc.Epochs, sc.TrajPerEpoch, sc.EpisodeLen)
+	}
+	curve, err := trainer.Train(sc.Epochs, func(st core.EpochStats) {
+		if log != nil {
+			fmt.Fprintf(log, "  epoch %2d: bsld=%.2f baseline=%.2f reward=%+.3f steps=%d violations=%d\n",
+				st.Epoch, st.MeanBSLD, st.BaselineBSLD, st.MeanReward, st.Steps, st.Violations)
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	agent := trainer.Agent()
+	z.mu.Lock()
+	z.models[key] = agent
+	z.curves[key] = curve
+	z.mu.Unlock()
+	return agent, curve, nil
+}

@@ -1,0 +1,112 @@
+package lublin
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Fatalf("%s = %v, want %v (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestLublin1MatchesTable2(t *testing.T) {
+	tr := Generate1(10000, 42)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := trace.ComputeStats(tr)
+	if s.Procs != 256 {
+		t.Fatalf("size = %d, want 256", s.Procs)
+	}
+	within(t, "it", s.MeanInterarrival, 771, 0.08)
+	within(t, "rt", s.MeanRuntime, 4862, 0.10)
+	within(t, "nt", s.MeanProcs, 22, 0.35)
+}
+
+func TestLublin2MatchesTable2(t *testing.T) {
+	tr := Generate2(10000, 42)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := trace.ComputeStats(tr)
+	if s.Procs != 256 {
+		t.Fatalf("size = %d, want 256", s.Procs)
+	}
+	within(t, "it", s.MeanInterarrival, 460, 0.08)
+	within(t, "rt", s.MeanRuntime, 1695, 0.10)
+	within(t, "nt", s.MeanProcs, 39, 0.35)
+}
+
+func TestLublinRequestEqualsRuntime(t *testing.T) {
+	// Synthetic traces have no user estimates (paper §4.1.2): request == AR.
+	tr := Generate1(2000, 7)
+	for _, j := range tr.Jobs {
+		if j.Request != j.Runtime {
+			t.Fatalf("job %d: request %d != runtime %d", j.ID, j.Request, j.Runtime)
+		}
+	}
+}
+
+func TestLublinDeterminism(t *testing.T) {
+	a := Generate2(500, 3)
+	b := Generate2(500, 3)
+	for i := range a.Jobs {
+		if *a.Jobs[i] != *b.Jobs[i] {
+			t.Fatalf("job %d differs for identical seeds", i)
+		}
+	}
+}
+
+func TestLublinSeedsDiffer(t *testing.T) {
+	a := Generate1(500, 1)
+	b := Generate1(500, 2)
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i].Runtime == b.Jobs[i].Runtime && a.Jobs[i].Procs == b.Jobs[i].Procs {
+			same++
+		}
+	}
+	if same == len(a.Jobs) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestLublinRuntimeMixDependsOnSize(t *testing.T) {
+	// With PA < 0 larger jobs use the second gamma component more often;
+	// verify the size-runtime coupling is active by checking that the model
+	// produces a broad runtime distribution (heavy tail), not a point mass.
+	tr := Generate1(5000, 9)
+	var small, large int
+	for _, j := range tr.Jobs {
+		if j.Runtime < 600 {
+			small++
+		}
+		if j.Runtime > 24*3600 {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Fatalf("runtime distribution lacks spread: %d short, %d day-plus of %d", small, large, len(tr.Jobs))
+	}
+}
+
+func TestLublinBoundedBySize(t *testing.T) {
+	tr := Generate2(3000, 11)
+	for _, j := range tr.Jobs {
+		if j.Procs < 1 || j.Procs > 256 {
+			t.Fatalf("job %d procs %d out of machine bounds", j.ID, j.Procs)
+		}
+	}
+}
+
+func TestGenerateZero(t *testing.T) {
+	tr := Generate1(0, 1)
+	if tr.Len() != 0 || tr.Procs != 256 {
+		t.Fatalf("empty generation wrong: %d jobs, %d procs", tr.Len(), tr.Procs)
+	}
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class partitions jobs into the classic short/long x narrow/wide quadrants
+// used to analyse which job classes a scheduling strategy helps or hurts.
+type Class int
+
+// Quadrants. "Short" and "narrow" are relative to the breakdown's medians.
+const (
+	ShortNarrow Class = iota
+	ShortWide
+	LongNarrow
+	LongWide
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ShortNarrow:
+		return "short-narrow"
+	case ShortWide:
+		return "short-wide"
+	case LongNarrow:
+		return "long-narrow"
+	case LongWide:
+		return "long-wide"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Breakdown reports per-quadrant scheduling quality.
+type Breakdown struct {
+	// RuntimeSplit and ProcsSplit are the medians that divide the quadrants.
+	RuntimeSplit int64
+	ProcsSplit   int
+	// Jobs and MeanBSLD/MeanWait are indexed by Class.
+	Jobs     [numClasses]int
+	MeanBSLD [numClasses]float64
+	MeanWait [numClasses]float64
+}
+
+// ComputeBreakdown classifies every record against the median runtime and
+// processor count and aggregates bsld and waits per quadrant.
+func ComputeBreakdown(records []Record) Breakdown {
+	var b Breakdown
+	if len(records) == 0 {
+		return b
+	}
+	runs := make([]int64, len(records))
+	procs := make([]int, len(records))
+	for i, r := range records {
+		runs[i] = r.Job.Runtime
+		procs[i] = r.Job.Procs
+	}
+	b.RuntimeSplit = medianInt64(runs)
+	b.ProcsSplit = medianInt(procs)
+	for _, r := range records {
+		c := classify(r, b.RuntimeSplit, b.ProcsSplit)
+		b.Jobs[c]++
+		b.MeanBSLD[c] += r.BoundedSlowdown()
+		b.MeanWait[c] += float64(r.Wait())
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if b.Jobs[c] > 0 {
+			b.MeanBSLD[c] /= float64(b.Jobs[c])
+			b.MeanWait[c] /= float64(b.Jobs[c])
+		}
+	}
+	return b
+}
+
+func classify(r Record, runSplit int64, procSplit int) Class {
+	short := r.Job.Runtime <= runSplit
+	narrow := r.Job.Procs <= procSplit
+	switch {
+	case short && narrow:
+		return ShortNarrow
+	case short && !narrow:
+		return ShortWide
+	case !short && narrow:
+		return LongNarrow
+	default:
+		return LongWide
+	}
+}
+
+// String renders a small per-quadrant table.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "split: runtime %ds, procs %d\n", b.RuntimeSplit, b.ProcsSplit)
+	for c := Class(0); c < numClasses; c++ {
+		fmt.Fprintf(&sb, "  %-13s jobs=%-6d bsld=%-8.2f wait=%.0fs\n",
+			c, b.Jobs[c], b.MeanBSLD[c], b.MeanWait[c])
+	}
+	return sb.String()
+}
+
+func medianInt64(xs []int64) int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[(len(s)-1)/2]
+}
+
+func medianInt(xs []int) int {
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	return s[(len(s)-1)/2]
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{
+		ShortNarrow: "short-narrow", ShortWide: "short-wide",
+		LongNarrow: "long-narrow", LongWide: "long-wide",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d -> %q, want %q", c, c.String(), want)
+		}
+	}
+	if !strings.Contains(Class(99).String(), "99") {
+		t.Fatal("unknown class string")
+	}
+}
+
+func TestComputeBreakdown(t *testing.T) {
+	recs := []Record{
+		rec(0, 0, 10, 1),       // short narrow
+		rec(0, 0, 10, 100),     // short wide
+		rec(0, 0, 1000, 1),     // long narrow
+		rec(0, 100, 1000, 100), // long wide, waits 100
+	}
+	b := ComputeBreakdown(recs)
+	total := 0
+	for c := Class(0); c < numClasses; c++ {
+		total += b.Jobs[c]
+	}
+	if total != 4 {
+		t.Fatalf("breakdown lost jobs: %+v", b.Jobs)
+	}
+	if b.Jobs[LongWide] != 1 {
+		t.Fatalf("long-wide count %d", b.Jobs[LongWide])
+	}
+	if b.MeanWait[LongWide] != 100 {
+		t.Fatalf("long-wide wait %v", b.MeanWait[LongWide])
+	}
+	if b.MeanBSLD[ShortNarrow] < 1 {
+		t.Fatal("bsld below 1")
+	}
+	s := b.String()
+	if !strings.Contains(s, "short-narrow") || !strings.Contains(s, "split") {
+		t.Fatalf("breakdown render: %q", s)
+	}
+}
+
+func TestComputeBreakdownEmpty(t *testing.T) {
+	b := ComputeBreakdown(nil)
+	if b.Jobs[ShortNarrow] != 0 {
+		t.Fatal("empty breakdown not empty")
+	}
+}
+
+func TestKilledJobSemantics(t *testing.T) {
+	// job runs 100s but requested only 60: killed at 60
+	r := Record{Job: &trace.Job{Submit: 0, Runtime: 100, Request: 60, Procs: 1}, Start: 0, End: 60}
+	if !r.Killed() {
+		t.Fatal("over-limit job not reported killed")
+	}
+	if r.RunSeconds() != 60 {
+		t.Fatalf("RunSeconds = %d", r.RunSeconds())
+	}
+	ok := Record{Job: &trace.Job{Submit: 0, Runtime: 50, Request: 60, Procs: 1}, Start: 0, End: 50}
+	if ok.Killed() {
+		t.Fatal("normal job reported killed")
+	}
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func rec(submit, start, run int64, procs int) Record {
+	return Record{
+		Job:   &trace.Job{Submit: submit, Runtime: run, Request: run, Procs: procs},
+		Start: start,
+		End:   start + run,
+	}
+}
+
+func TestWaitTurnaround(t *testing.T) {
+	r := rec(100, 150, 60, 2)
+	if r.Wait() != 50 {
+		t.Fatalf("Wait = %d", r.Wait())
+	}
+	if r.Turnaround() != 110 {
+		t.Fatalf("Turnaround = %d", r.Turnaround())
+	}
+}
+
+func TestBoundedSlowdownLongJob(t *testing.T) {
+	// wait 100, run 100: (100+100)/100 = 2
+	r := rec(0, 100, 100, 1)
+	if got := r.BoundedSlowdown(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("bsld = %v, want 2", got)
+	}
+}
+
+func TestBoundedSlowdownShortJobUsesThreshold(t *testing.T) {
+	// run 1s, wait 9s: (9+1)/max(1,10) = 1 -> bounded at threshold
+	r := rec(0, 9, 1, 1)
+	if got := r.BoundedSlowdown(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("bsld = %v, want 1 (threshold-bounded)", got)
+	}
+	// run 1s, wait 99s: (99+1)/10 = 10
+	r = rec(0, 99, 1, 1)
+	if got := r.BoundedSlowdown(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("bsld = %v, want 10", got)
+	}
+}
+
+func TestBoundedSlowdownFloorsAtOne(t *testing.T) {
+	r := rec(0, 0, 3, 1) // no wait, 3s run: (0+3)/10 = 0.3 -> floored to 1
+	if got := r.BoundedSlowdown(); got != 1 {
+		t.Fatalf("bsld = %v, want 1", got)
+	}
+}
+
+// Property: bsld >= 1 always, and increases with wait time.
+func TestBoundedSlowdownProperties(t *testing.T) {
+	f := func(wait16, run16 uint16) bool {
+		wait := int64(wait16)
+		run := int64(run16%5000) + 1
+		r := rec(0, wait, run, 1)
+		b := r.BoundedSlowdown()
+		if b < 1 {
+			return false
+		}
+		r2 := rec(0, wait+100, run, 1)
+		return r2.BoundedSlowdown() >= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		rec(0, 0, 100, 2),   // bsld 1
+		rec(0, 100, 100, 2), // bsld 2
+	}
+	s := Summarize(recs, 4)
+	if s.Jobs != 2 {
+		t.Fatalf("Jobs = %d", s.Jobs)
+	}
+	if math.Abs(s.MeanBSLD-1.5) > 1e-12 {
+		t.Fatalf("MeanBSLD = %v, want 1.5", s.MeanBSLD)
+	}
+	if s.MaxBSLD != 2 {
+		t.Fatalf("MaxBSLD = %v", s.MaxBSLD)
+	}
+	if s.Makespan != 200 {
+		t.Fatalf("Makespan = %d", s.Makespan)
+	}
+	// proc-seconds = 2*100 + 2*100 = 400 over 4 procs * 200s = 800
+	if math.Abs(s.Utilization-0.5) > 1e-12 {
+		t.Fatalf("Utilization = %v, want 0.5", s.Utilization)
+	}
+	if s.MeanWait != 50 {
+		t.Fatalf("MeanWait = %v", s.MeanWait)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 4)
+	if s.Jobs != 0 || s.MeanBSLD != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	_ = s.String()
+}
+
+func TestSummarizeUtilizationBounded(t *testing.T) {
+	rng := stats.NewRNG(3)
+	f := func(n uint8) bool {
+		m := int(n%30) + 1
+		recs := make([]Record, m)
+		clock := int64(0)
+		for i := range recs {
+			// sequential schedule on one processor: utilization <= 1
+			run := rng.Int63n(100) + 1
+			recs[i] = rec(clock, clock, run, 1)
+			clock += run
+		}
+		s := Summarize(recs, 1)
+		return s.Utilization <= 1.0000001 && s.Utilization > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

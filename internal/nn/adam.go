@@ -1,0 +1,54 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimiser (Kingma & Ba) over an MLP's parameters,
+// as used by Spinning Up's PPO (§4.1.1: learning rate 1e-3).
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t  int
+	mW []*Mat
+	vW []*Mat
+	mB [][]float64
+	vB [][]float64
+}
+
+// NewAdam creates an optimiser for the given network with standard moment
+// decay rates (0.9, 0.999).
+func NewAdam(m *MLP, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	for l := range m.W {
+		a.mW = append(a.mW, NewMat(m.W[l].Rows, m.W[l].Cols))
+		a.vW = append(a.vW, NewMat(m.W[l].Rows, m.W[l].Cols))
+		a.mB = append(a.mB, make([]float64, len(m.B[l])))
+		a.vB = append(a.vB, make([]float64, len(m.B[l])))
+	}
+	return a
+}
+
+// Step applies one Adam update to m's parameters in the direction that
+// *descends* the loss whose gradients are in g.
+func (a *Adam) Step(m *MLP, g *Grads) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for l := range m.W {
+		updateAdam(m.W[l].Data, g.W[l].Data, a.mW[l].Data, a.vW[l].Data, a, c1, c2)
+		updateAdam(m.B[l], g.B[l], a.mB[l], a.vB[l], a, c1, c2)
+	}
+}
+
+func updateAdam(param, grad, mo, ve []float64, a *Adam, c1, c2 float64) {
+	for i := range param {
+		gi := grad[i]
+		mo[i] = a.Beta1*mo[i] + (1-a.Beta1)*gi
+		ve[i] = a.Beta2*ve[i] + (1-a.Beta2)*gi*gi
+		mhat := mo[i] / c1
+		vhat := ve[i] / c2
+		param[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+	}
+}

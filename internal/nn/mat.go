@@ -1,0 +1,110 @@
+// Package nn is a small, dependency-free neural-network library: dense
+// matrices, multi-layer perceptrons with exact manual backpropagation,
+// masked softmax/categorical utilities and the Adam optimiser. It exists
+// because the paper's agent runs on PyTorch, for which Go has no equivalent
+// (the repro gate); the networks involved are tiny MLPs, so exact gradients
+// are hand-derived and verified against finite differences in the tests.
+package nn
+
+import "fmt"
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMat allocates a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero clears all elements.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone deep-copies the matrix.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// AddScaled accumulates a*o into m. Shapes must match.
+func (m *Mat) AddScaled(o *Mat, a float64) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("nn: AddScaled shape mismatch")
+	}
+	for i, v := range o.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// MulVec computes y = M*x (y has len Rows, x len Cols).
+func (m *Mat) MulVec(x, y []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic("nn: MulVec shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, w := range row {
+			s += w * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecT computes y = Mᵀ*x (x has len Rows, y len Cols), used for gradient
+// backpropagation through a linear layer.
+func (m *Mat) MulVecT(x, y []float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("nn: MulVecT shape mismatch")
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			y[j] += w * xi
+		}
+	}
+}
+
+// AddOuterScaled accumulates a * x·yᵀ into m (x len Rows, y len Cols): the
+// weight-gradient update dW += a * gradOut ⊗ input.
+func (m *Mat) AddOuterScaled(x, y []float64, a float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("nn: AddOuterScaled shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := a * x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, yj := range y {
+			row[j] += xi * yj
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Activation names the supported nonlinearities.
+type Activation string
+
+const (
+	// ReLU is max(0, x).
+	ReLU Activation = "relu"
+	// Tanh is the hyperbolic tangent.
+	Tanh Activation = "tanh"
+	// Identity is the linear activation (used for output layers).
+	Identity Activation = "identity"
+)
+
+func actForward(a Activation, x float64) float64 {
+	switch a {
+	case ReLU:
+		if x > 0 {
+			return x
+		}
+		return 0
+	case Tanh:
+		return math.Tanh(x)
+	case Identity:
+		return x
+	}
+	panic(fmt.Sprintf("nn: unknown activation %q", a))
+}
+
+// actBackward returns d(act)/dx given the pre-activation x and the computed
+// activation y.
+func actBackward(a Activation, x, y float64) float64 {
+	switch a {
+	case ReLU:
+		if x > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	case Identity:
+		return 1
+	}
+	panic(fmt.Sprintf("nn: unknown activation %q", a))
+}
+
+// MLP is a fully connected feed-forward network. Layer l maps Sizes[l] to
+// Sizes[l+1] via W[l]*x + B[l] followed by Act (Identity on the final
+// layer). Weights are read-only during Forward/Backward, so one MLP can be
+// shared across goroutines that own their own Cache and Grads.
+type MLP struct {
+	Sizes []int
+	Act   Activation
+	W     []*Mat      // W[l] is Sizes[l+1] x Sizes[l]
+	B     [][]float64 // B[l] has len Sizes[l+1]
+}
+
+// NewMLP builds an MLP with the given layer sizes (at least two entries:
+// input and output) and hidden activation, initialised with He-uniform
+// weights drawn from rng.
+func NewMLP(sizes []int, act Activation, rng *stats.RNG) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic("nn: MLP layer sizes must be positive")
+		}
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...), Act: act}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := NewMat(out, in)
+		bound := math.Sqrt(6.0 / float64(in))
+		for i := range w.Data {
+			w.Data[i] = rng.Uniform(-bound, bound)
+		}
+		m.W = append(m.W, w)
+		m.B = append(m.B, make([]float64, out))
+	}
+	return m
+}
+
+// Layers returns the number of weight layers.
+func (m *MLP) Layers() int { return len(m.W) }
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.W {
+		n += len(m.W[l].Data) + len(m.B[l])
+	}
+	return n
+}
+
+// Clone deep-copies the network.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Sizes: append([]int(nil), m.Sizes...), Act: m.Act}
+	for l := range m.W {
+		c.W = append(c.W, m.W[l].Clone())
+		c.B = append(c.B, append([]float64(nil), m.B[l]...))
+	}
+	return c
+}
+
+// Cache stores the per-layer pre-activations and activations of one forward
+// pass, enabling an exact backward pass. Each goroutine uses its own Cache.
+type Cache struct {
+	// X[0] is the input; X[l+1] the activation after layer l.
+	X [][]float64
+	// Z[l] is the pre-activation of layer l.
+	Z [][]float64
+}
+
+// NewCache allocates a cache matching the network shape.
+func NewCache(m *MLP) *Cache {
+	c := &Cache{}
+	c.X = append(c.X, make([]float64, m.Sizes[0]))
+	for l := 0; l < m.Layers(); l++ {
+		c.Z = append(c.Z, make([]float64, m.Sizes[l+1]))
+		c.X = append(c.X, make([]float64, m.Sizes[l+1]))
+	}
+	return c
+}
+
+// Forward runs the network on x, recording intermediates in cache, and
+// returns the output activation (a view into the cache; copy before reuse).
+func (m *MLP) Forward(x []float64, cache *Cache) []float64 {
+	if len(x) != m.Sizes[0] {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), m.Sizes[0]))
+	}
+	copy(cache.X[0], x)
+	for l := 0; l < m.Layers(); l++ {
+		m.W[l].MulVec(cache.X[l], cache.Z[l])
+		act := m.Act
+		if l == m.Layers()-1 {
+			act = Identity
+		}
+		for i, z := range cache.Z[l] {
+			cache.Z[l][i] = z + m.B[l][i]
+			cache.X[l+1][i] = actForward(act, cache.Z[l][i])
+		}
+	}
+	return cache.X[m.Layers()]
+}
+
+// Grads accumulates parameter gradients for an MLP.
+type Grads struct {
+	W []*Mat
+	B [][]float64
+	// scratch buffers for Backward, sized per layer
+	delta [][]float64
+}
+
+// NewGrads allocates zeroed gradients matching the network.
+func NewGrads(m *MLP) *Grads {
+	g := &Grads{}
+	for l := range m.W {
+		g.W = append(g.W, NewMat(m.W[l].Rows, m.W[l].Cols))
+		g.B = append(g.B, make([]float64, len(m.B[l])))
+	}
+	for l := 0; l <= m.Layers(); l++ {
+		g.delta = append(g.delta, make([]float64, m.Sizes[l]))
+	}
+	return g
+}
+
+// Zero clears the accumulated gradients.
+func (g *Grads) Zero() {
+	for l := range g.W {
+		g.W[l].Zero()
+		for i := range g.B[l] {
+			g.B[l][i] = 0
+		}
+	}
+}
+
+// Add accumulates another gradient set (used to reduce per-worker grads).
+func (g *Grads) Add(o *Grads) {
+	for l := range g.W {
+		g.W[l].AddScaled(o.W[l], 1)
+		for i, v := range o.B[l] {
+			g.B[l][i] += v
+		}
+	}
+}
+
+// Scale multiplies all gradients by f (e.g. 1/batchSize).
+func (g *Grads) Scale(f float64) {
+	for l := range g.W {
+		for i := range g.W[l].Data {
+			g.W[l].Data[i] *= f
+		}
+		for i := range g.B[l] {
+			g.B[l][i] *= f
+		}
+	}
+}
+
+// Backward accumulates dLoss/dParams into g given the cache of the forward
+// pass that produced the output and gradOut = dLoss/dOutput. It returns
+// dLoss/dInput (a view into g's scratch space; copy before reuse).
+func (m *MLP) Backward(cache *Cache, gradOut []float64, g *Grads) []float64 {
+	L := m.Layers()
+	if len(gradOut) != m.Sizes[L] {
+		panic(fmt.Sprintf("nn: gradOut size %d, want %d", len(gradOut), m.Sizes[L]))
+	}
+	copy(g.delta[L], gradOut)
+	for l := L - 1; l >= 0; l-- {
+		act := m.Act
+		if l == L-1 {
+			act = Identity
+		}
+		// delta through the activation
+		d := g.delta[l+1]
+		for i := range d {
+			d[i] *= actBackward(act, cache.Z[l][i], cache.X[l+1][i])
+		}
+		// parameter gradients
+		g.W[l].AddOuterScaled(d, cache.X[l], 1)
+		for i, v := range d {
+			g.B[l][i] += v
+		}
+		// propagate to the previous layer
+		m.W[l].MulVecT(d, g.delta[l])
+	}
+	return g.delta[0]
+}

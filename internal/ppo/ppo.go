@@ -1,0 +1,431 @@
+// Package ppo implements Proximal Policy Optimization (Schulman et al. 2017)
+// in the style of OpenAI Spinning Up — the algorithm the paper trains
+// RLBackfilling with (§2.2.1, §4.1.1): clipped surrogate objective,
+// GAE-lambda advantages, separate policy ("actor") and value ("critic")
+// networks updated with Adam for a fixed number of iterations per epoch with
+// KL-divergence early stopping.
+//
+// The policy here is the paper's kernel network (§3.3.1): a small MLP is
+// applied to each candidate's feature vector to produce one score per
+// candidate, and a masked softmax over the scores yields the action
+// distribution. The value network (§3.3.2) is an ordinary MLP over the
+// flattened observation.
+package ppo
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+// Step is one decision recorded during a rollout.
+type Step struct {
+	// Obs holds one feature vector per action slot (the kernel network is
+	// applied to each). Only rows with Mask true are selectable.
+	Obs [][]float64
+	// FlatObs is the fixed-size flattened observation for the value network.
+	FlatObs []float64
+	// Mask marks selectable rows.
+	Mask []bool
+	// Action is the sampled row index.
+	Action int
+	// LogP is log pi(a|s) at collection time.
+	LogP float64
+	// Value is V(s) at collection time.
+	Value float64
+	// Reward is the immediate reward credited to this step.
+	Reward float64
+}
+
+// Trajectory is a full episode of steps.
+type Trajectory struct {
+	Steps []Step
+}
+
+// Config holds the PPO hyper-parameters. Defaults (§4.1.1 and Spinning Up):
+// clip 0.2, lr 1e-3, 80 policy and value iterations, target KL 0.01,
+// gamma 1 (terminal-only rewards), lambda 0.97.
+type Config struct {
+	ClipRatio   float64
+	PiLR        float64
+	VLR         float64
+	PiIters     int
+	VIters      int
+	TargetKL    float64
+	Gamma       float64
+	Lambda      float64
+	EntropyCoef float64
+	// MiniBatch limits the samples used per update iteration (0 = full
+	// batch, as in Spinning Up).
+	MiniBatch int
+	// Workers is the gradient/rollout parallelism (<=1 = serial).
+	Workers int
+	Seed    uint64
+}
+
+// DefaultConfig returns the paper/Spinning Up defaults.
+func DefaultConfig() Config {
+	return Config{
+		ClipRatio:   0.2,
+		PiLR:        1e-3,
+		VLR:         1e-3,
+		PiIters:     80,
+		VIters:      80,
+		TargetKL:    0.01,
+		Gamma:       1.0,
+		Lambda:      0.97,
+		EntropyCoef: 0.01,
+		MiniBatch:   4096,
+		Workers:     1,
+		Seed:        1,
+	}
+}
+
+// PPO holds the actor-critic networks and their optimisers.
+type PPO struct {
+	Policy *nn.MLP // kernel network: featDim -> ... -> 1
+	Value  *nn.MLP // value network: flatDim -> ... -> 1
+	Cfg    Config
+
+	piOpt *nn.Adam
+	vOpt  *nn.Adam
+	rng   *stats.RNG
+}
+
+// New wires the networks to fresh Adam optimisers.
+func New(policy, value *nn.MLP, cfg Config) *PPO {
+	return &PPO{
+		Policy: policy,
+		Value:  value,
+		Cfg:    cfg,
+		piOpt:  nn.NewAdam(policy, cfg.PiLR),
+		vOpt:   nn.NewAdam(value, cfg.VLR),
+		rng:    stats.NewRNG(cfg.Seed + 0x5bd1e995),
+	}
+}
+
+// Distribution runs the kernel network over every row of obs and returns the
+// masked-softmax action distribution. cache must match Policy's shape;
+// scores is scratch of len(obs). Both may be reused across calls.
+func (p *PPO) Distribution(obs [][]float64, mask []bool, cache *nn.Cache, scores []float64) []float64 {
+	for i, row := range obs {
+		if !mask[i] {
+			scores[i] = 0
+			continue
+		}
+		scores[i] = p.Policy.Forward(row, cache)[0]
+	}
+	return nn.MaskedSoftmax(scores[:len(obs)], mask)
+}
+
+// ValueOf evaluates the critic on a flattened observation.
+func (p *PPO) ValueOf(flat []float64, cache *nn.Cache) float64 {
+	return p.Value.Forward(flat, cache)[0]
+}
+
+// UpdateStats reports what one Update did.
+type UpdateStats struct {
+	Steps      int
+	PiIters    int
+	VIters     int
+	KL         float64
+	Entropy    float64
+	PiLossInit float64
+	PiLossLast float64
+	VLossInit  float64
+	VLossLast  float64
+}
+
+// Update performs one PPO epoch over the collected trajectories: GAE
+// advantage estimation, normalised advantages, PiIters clipped-surrogate
+// policy steps with KL early stopping, and VIters value-regression steps.
+func (p *PPO) Update(trajs []Trajectory) UpdateStats {
+	var steps []Step
+	var advs, rets []float64
+	for _, tr := range trajs {
+		if len(tr.Steps) == 0 {
+			continue
+		}
+		rewards := make([]float64, len(tr.Steps))
+		values := make([]float64, len(tr.Steps))
+		for i, s := range tr.Steps {
+			rewards[i] = s.Reward
+			values[i] = s.Value
+		}
+		adv, ret := GAE(rewards, values, p.Cfg.Gamma, p.Cfg.Lambda)
+		steps = append(steps, tr.Steps...)
+		advs = append(advs, adv...)
+		rets = append(rets, ret...)
+	}
+	st := UpdateStats{Steps: len(steps)}
+	if len(steps) == 0 {
+		return st
+	}
+	normalize(advs)
+
+	workers := p.Cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+
+	// ---- policy updates ----
+	idx := make([]int, len(steps))
+	for i := range idx {
+		idx[i] = i
+	}
+	for iter := 0; iter < p.Cfg.PiIters; iter++ {
+		batch := p.minibatch(idx)
+		loss, kl, ent := p.policyStep(steps, advs, batch, workers)
+		if iter == 0 {
+			st.PiLossInit = loss
+			st.Entropy = ent
+		}
+		st.PiLossLast = loss
+		st.KL = kl
+		st.PiIters = iter + 1
+		if p.Cfg.TargetKL > 0 && kl > 1.5*p.Cfg.TargetKL {
+			break
+		}
+	}
+
+	// ---- value updates ----
+	for iter := 0; iter < p.Cfg.VIters; iter++ {
+		batch := p.minibatch(idx)
+		loss := p.valueStep(steps, rets, batch, workers)
+		if iter == 0 {
+			st.VLossInit = loss
+		}
+		st.VLossLast = loss
+		st.VIters = iter + 1
+	}
+	return st
+}
+
+// minibatch returns the sample indices for one update iteration, shuffling
+// in place when a minibatch size is configured.
+func (p *PPO) minibatch(idx []int) []int {
+	mb := p.Cfg.MiniBatch
+	if mb <= 0 || mb >= len(idx) {
+		return idx
+	}
+	// partial Fisher-Yates: the first mb entries become a uniform sample
+	for i := 0; i < mb; i++ {
+		j := i + p.rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:mb]
+}
+
+// policyStep computes one clipped-surrogate gradient step over the batch and
+// returns (loss, approxKL, entropy).
+func (p *PPO) policyStep(steps []Step, advs []float64, batch []int, workers int) (loss, kl, ent float64) {
+	grads := make([]*nn.Grads, workers)
+	losses := make([]float64, workers)
+	kls := make([]float64, workers)
+	ents := make([]float64, workers)
+	clip := p.Cfg.ClipRatio
+
+	var wg sync.WaitGroup
+	chunk := (len(batch) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(batch) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := nn.NewGrads(p.Policy)
+			cache := nn.NewCache(p.Policy)
+			var scores, dscore []float64
+			var caches []*nn.Cache
+			for _, si := range batch[lo:hi] {
+				s := &steps[si]
+				n := len(s.Obs)
+				if cap(scores) < n {
+					scores = make([]float64, n)
+					dscore = make([]float64, n)
+				}
+				scores = scores[:n]
+				dscore = dscore[:n]
+				for len(caches) < n {
+					caches = append(caches, nn.NewCache(p.Policy))
+				}
+				// forward every selectable row, keeping per-row caches
+				for i, row := range s.Obs {
+					if !s.Mask[i] {
+						scores[i] = 0
+						continue
+					}
+					scores[i] = p.Policy.Forward(row, caches[i])[0]
+				}
+				probs := nn.MaskedSoftmax(scores, s.Mask)
+				newLogP := nn.LogProb(probs, s.Action)
+				ratio := math.Exp(newLogP - s.LogP)
+				adv := advs[si]
+
+				// clipped surrogate: L = -min(ratio*A, clip(ratio)*A)
+				unclipped := ratio * adv
+				clipped := clampF(ratio, 1-clip, 1+clip) * adv
+				obj := math.Min(unclipped, clipped)
+				losses[w] += -obj
+				kls[w] += s.LogP - newLogP
+				ents[w] += nn.Entropy(probs)
+
+				// dL/dlogp: zero when the clip branch saturates
+				var dlogp float64
+				if unclipped <= clipped {
+					dlogp = -ratio * adv
+				}
+				nn.SoftmaxLogProbGrad(probs, s.Mask, s.Action, dscore)
+				if p.Cfg.EntropyCoef > 0 {
+					entGrad := make([]float64, n)
+					nn.SoftmaxEntropyGrad(probs, s.Mask, entGrad)
+					for i := range dscore {
+						dscore[i] = dlogp*dscore[i] - p.Cfg.EntropyCoef*entGrad[i]
+					}
+				} else {
+					for i := range dscore {
+						dscore[i] *= dlogp
+					}
+				}
+				for i := range s.Obs {
+					if !s.Mask[i] || dscore[i] == 0 {
+						continue
+					}
+					p.Policy.Backward(caches[i], []float64{dscore[i]}, g)
+				}
+			}
+			grads[w] = g
+			_ = cache
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := nn.NewGrads(p.Policy)
+	for _, g := range grads {
+		if g != nil {
+			total.Add(g)
+		}
+	}
+	n := float64(len(batch))
+	total.Scale(1 / n)
+	p.piOpt.Step(p.Policy, total)
+	for w := 0; w < workers; w++ {
+		loss += losses[w]
+		kl += kls[w]
+		ent += ents[w]
+	}
+	return loss / n, kl / n, ent / n
+}
+
+// valueStep computes one mean-squared-error regression step for the critic
+// and returns the loss.
+func (p *PPO) valueStep(steps []Step, rets []float64, batch []int, workers int) float64 {
+	grads := make([]*nn.Grads, workers)
+	losses := make([]float64, workers)
+
+	var wg sync.WaitGroup
+	chunk := (len(batch) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(batch) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := nn.NewGrads(p.Value)
+			cache := nn.NewCache(p.Value)
+			for _, si := range batch[lo:hi] {
+				s := &steps[si]
+				v := p.Value.Forward(s.FlatObs, cache)[0]
+				diff := v - rets[si]
+				losses[w] += diff * diff
+				p.Value.Backward(cache, []float64{2 * diff}, g)
+			}
+			grads[w] = g
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	total := nn.NewGrads(p.Value)
+	for _, g := range grads {
+		if g != nil {
+			total.Add(g)
+		}
+	}
+	n := float64(len(batch))
+	total.Scale(1 / n)
+	p.vOpt.Step(p.Value, total)
+	var loss float64
+	for w := 0; w < workers; w++ {
+		loss += losses[w]
+	}
+	return loss / n
+}
+
+// GAE computes generalised advantage estimates and discounted rewards-to-go
+// for one episode (terminal value 0).
+func GAE(rewards, values []float64, gamma, lambda float64) (adv, ret []float64) {
+	n := len(rewards)
+	adv = make([]float64, n)
+	ret = make([]float64, n)
+	var lastAdv, lastRet float64
+	for t := n - 1; t >= 0; t-- {
+		var nextV float64
+		if t+1 < n {
+			nextV = values[t+1]
+		}
+		delta := rewards[t] + gamma*nextV - values[t]
+		lastAdv = delta + gamma*lambda*lastAdv
+		adv[t] = lastAdv
+		lastRet = rewards[t] + gamma*lastRet
+		ret[t] = lastRet
+	}
+	return adv, ret
+}
+
+// normalize shifts and scales xs to zero mean and unit variance in place
+// (no-op for constant inputs).
+func normalize(xs []float64) {
+	if len(xs) == 0 {
+		return
+	}
+	m := stats.Mean(xs)
+	var sq float64
+	for _, x := range xs {
+		d := x - m
+		sq += d * d
+	}
+	sd := math.Sqrt(sq / float64(len(xs)))
+	if sd < 1e-12 {
+		for i := range xs {
+			xs[i] = 0
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - m) / sd
+	}
+}
+
+func clampF(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,302 @@
+package ppo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+func TestGAEMatchesBruteForce(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := stats.NewRNG(uint64(seed))
+		n := r.Intn(20) + 1
+		rewards := make([]float64, n)
+		values := make([]float64, n)
+		for i := range rewards {
+			rewards[i] = r.Normal(0, 1)
+			values[i] = r.Normal(0, 1)
+		}
+		gamma, lambda := 0.97, 0.9
+		adv, ret := GAE(rewards, values, gamma, lambda)
+
+		// brute force
+		for tt := 0; tt < n; tt++ {
+			// advantage: sum_k (gamma*lambda)^k * delta_{t+k}
+			want := 0.0
+			for k := 0; tt+k < n; k++ {
+				nextV := 0.0
+				if tt+k+1 < n {
+					nextV = values[tt+k+1]
+				}
+				delta := rewards[tt+k] + gamma*nextV - values[tt+k]
+				want += math.Pow(gamma*lambda, float64(k)) * delta
+			}
+			if math.Abs(adv[tt]-want) > 1e-9 {
+				return false
+			}
+			// rewards-to-go
+			wantRet := 0.0
+			for k := 0; tt+k < n; k++ {
+				wantRet += math.Pow(gamma, float64(k)) * rewards[tt+k]
+			}
+			if math.Abs(ret[tt]-wantRet) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGAETerminalOnlyReward(t *testing.T) {
+	// gamma=1: the terminal reward propagates undiscounted to every step's
+	// return — the structure the backfilling episodes use (§3.4).
+	rewards := []float64{0, 0, 0, 5}
+	values := []float64{0, 0, 0, 0}
+	_, ret := GAE(rewards, values, 1.0, 0.97)
+	for i, v := range ret {
+		if v != 5 {
+			t.Fatalf("ret[%d] = %v, want 5", i, v)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	normalize(xs)
+	if math.Abs(stats.Mean(xs)) > 1e-12 {
+		t.Fatalf("normalized mean %v", stats.Mean(xs))
+	}
+	var sq float64
+	for _, x := range xs {
+		sq += x * x
+	}
+	if math.Abs(sq/4-1) > 1e-9 {
+		t.Fatalf("normalized variance %v", sq/4)
+	}
+	cs := []float64{7, 7, 7}
+	normalize(cs)
+	for _, v := range cs {
+		if v != 0 {
+			t.Fatal("constant input should normalise to zeros")
+		}
+	}
+}
+
+// mkPPO builds a small agent with deterministic init.
+func mkPPO(featDim, slots int, cfg Config) *PPO {
+	rng := stats.NewRNG(99)
+	policy := nn.NewMLP([]int{featDim, 16, 8, 1}, nn.ReLU, rng)
+	value := nn.NewMLP([]int{featDim * slots, 16, 1}, nn.Tanh, rng)
+	return New(policy, value, cfg)
+}
+
+// banditTrajectories builds a contextual-bandit dataset: two candidate rows;
+// choosing the row whose first feature is larger yields reward 1, else 0.
+func banditTrajectories(p *PPO, rng *stats.RNG, nTraj, featDim, slots int) []Trajectory {
+	trajs := make([]Trajectory, nTraj)
+	cache := nn.NewCache(p.Policy)
+	vcache := nn.NewCache(p.Value)
+	scores := make([]float64, slots)
+	for ti := range trajs {
+		obs := make([][]float64, slots)
+		mask := make([]bool, slots)
+		flat := make([]float64, featDim*slots)
+		best := 0
+		bestV := -1.0
+		for i := 0; i < slots; i++ {
+			row := make([]float64, featDim)
+			for k := range row {
+				row[k] = rng.Float64()
+			}
+			obs[i] = row
+			mask[i] = true
+			copy(flat[i*featDim:], row)
+			if row[0] > bestV {
+				bestV = row[0]
+				best = i
+			}
+		}
+		probs := p.Distribution(obs, mask, cache, scores)
+		a := nn.SampleCategorical(probs, rng)
+		reward := 0.0
+		if a == best {
+			reward = 1
+		}
+		trajs[ti] = Trajectory{Steps: []Step{{
+			Obs: obs, FlatObs: flat, Mask: mask, Action: a,
+			LogP:   nn.LogProb(probs, a),
+			Value:  p.ValueOf(flat, vcache),
+			Reward: reward,
+		}}}
+	}
+	return trajs
+}
+
+// The integration test: PPO must learn the pick-the-larger-feature bandit.
+func TestPPOLearnsBandit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PiIters = 20
+	cfg.VIters = 20
+	cfg.MiniBatch = 0
+	cfg.Workers = 2
+	cfg.Seed = 7
+	const featDim, slots = 3, 2
+	p := mkPPO(featDim, slots, cfg)
+	rng := stats.NewRNG(3)
+
+	accuracy := func() float64 {
+		cache := nn.NewCache(p.Policy)
+		scores := make([]float64, slots)
+		hits := 0
+		const trials = 500
+		r := stats.NewRNG(123)
+		for i := 0; i < trials; i++ {
+			obs := make([][]float64, slots)
+			mask := []bool{true, true}
+			best, bestV := 0, -1.0
+			for k := 0; k < slots; k++ {
+				row := []float64{r.Float64(), r.Float64(), r.Float64()}
+				obs[k] = row
+				if row[0] > bestV {
+					bestV, best = row[0], k
+				}
+			}
+			probs := p.Distribution(obs, mask, cache, scores)
+			if nn.Argmax(probs) == best {
+				hits++
+			}
+		}
+		return float64(hits) / trials
+	}
+
+	before := accuracy()
+	for epoch := 0; epoch < 15; epoch++ {
+		trajs := banditTrajectories(p, rng, 200, featDim, slots)
+		st := p.Update(trajs)
+		if st.Steps != 200 {
+			t.Fatalf("update saw %d steps", st.Steps)
+		}
+	}
+	after := accuracy()
+	if after < 0.9 {
+		t.Fatalf("PPO failed to learn bandit: accuracy %.2f -> %.2f", before, after)
+	}
+}
+
+func TestUpdateEmptyTrajectories(t *testing.T) {
+	p := mkPPO(3, 2, DefaultConfig())
+	st := p.Update([]Trajectory{{}, {}})
+	if st.Steps != 0 || st.PiIters != 0 {
+		t.Fatalf("empty update did something: %+v", st)
+	}
+}
+
+func TestKLEarlyStopping(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PiIters = 80
+	cfg.VIters = 1
+	cfg.TargetKL = 1e-9 // absurdly tight: must stop almost immediately
+	cfg.MiniBatch = 0
+	p := mkPPO(3, 2, cfg)
+	rng := stats.NewRNG(5)
+	trajs := banditTrajectories(p, rng, 50, 3, 2)
+	st := p.Update(trajs)
+	if st.PiIters > 5 {
+		t.Fatalf("KL early stop did not trigger: %d iterations", st.PiIters)
+	}
+}
+
+func TestMinibatchSelection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MiniBatch = 4
+	p := mkPPO(2, 2, cfg)
+	idx := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	b := p.minibatch(idx)
+	if len(b) != 4 {
+		t.Fatalf("minibatch size %d", len(b))
+	}
+	seen := map[int]bool{}
+	for _, v := range b {
+		if v < 0 || v > 7 || seen[v] {
+			t.Fatalf("bad minibatch %v", b)
+		}
+		seen[v] = true
+	}
+	cfg.MiniBatch = 0
+	p2 := mkPPO(2, 2, cfg)
+	if got := p2.minibatch(idx); len(got) != 8 {
+		t.Fatalf("full batch size %d", len(got))
+	}
+}
+
+func TestValueRegression(t *testing.T) {
+	// With PiIters=0, Update reduces critic MSE on a fixed target.
+	cfg := DefaultConfig()
+	cfg.PiIters = 0
+	cfg.VIters = 150
+	cfg.MiniBatch = 0
+	cfg.VLR = 1e-2
+	p := mkPPO(2, 2, cfg)
+	rng := stats.NewRNG(11)
+	var trajs []Trajectory
+	for i := 0; i < 100; i++ {
+		flat := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		target := flat[0] + flat[1] // learnable function
+		trajs = append(trajs, Trajectory{Steps: []Step{{
+			Obs: [][]float64{{1, 0}, {0, 1}}, FlatObs: flat,
+			Mask: []bool{true, true}, Action: 0, LogP: math.Log(0.5),
+			Value: 0, Reward: target,
+		}}})
+	}
+	st := p.Update(trajs)
+	if st.VLossLast >= st.VLossInit {
+		t.Fatalf("value loss did not decrease: %v -> %v", st.VLossInit, st.VLossLast)
+	}
+	if st.VLossLast > 0.05 {
+		t.Fatalf("value loss too high after regression: %v", st.VLossLast)
+	}
+}
+
+func TestUpdateDeterministicForFixedSeed(t *testing.T) {
+	build := func() (*PPO, []Trajectory) {
+		cfg := DefaultConfig()
+		cfg.PiIters = 5
+		cfg.VIters = 5
+		cfg.Workers = 3 // parallel reduction must stay deterministic
+		cfg.Seed = 42
+		p := mkPPO(3, 2, cfg)
+		rng := stats.NewRNG(9)
+		return p, banditTrajectories(p, rng, 60, 3, 2)
+	}
+	p1, t1 := build()
+	p2, t2 := build()
+	p1.Update(t1)
+	p2.Update(t2)
+	for l := range p1.Policy.W {
+		for i := range p1.Policy.W[l].Data {
+			if p1.Policy.W[l].Data[i] != p2.Policy.W[l].Data[i] {
+				t.Fatalf("policy weights diverged at layer %d index %d", l, i)
+			}
+		}
+	}
+}
+
+func TestDistributionMasksInvalidRows(t *testing.T) {
+	p := mkPPO(3, 3, DefaultConfig())
+	cache := nn.NewCache(p.Policy)
+	scores := make([]float64, 3)
+	obs := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	probs := p.Distribution(obs, []bool{true, false, true}, cache, scores)
+	if probs[1] != 0 {
+		t.Fatal("masked row received probability")
+	}
+	if math.Abs(probs[0]+probs[2]-1) > 1e-12 {
+		t.Fatal("valid probabilities do not sum to 1")
+	}
+}

@@ -1,0 +1,103 @@
+// Package sched implements the base scheduling policies of Table 3 of the
+// paper: FCFS, SJF, WFP3 and F1. A policy assigns every waiting job a score;
+// the simulator runs the lowest-scoring job first.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Policy orders the waiting queue. Lower Score runs first. Score may depend
+// on the current time (WFP3's waiting-time term), so the simulator re-sorts
+// at every scheduling event.
+type Policy interface {
+	Name() string
+	Score(j *trace.Job, now int64) float64
+}
+
+// FCFS schedules jobs in submission order: score(t) = s_t.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// Score implements Policy.
+func (FCFS) Score(j *trace.Job, _ int64) float64 { return float64(j.Submit) }
+
+// SJF runs the job with the shortest requested time first: score(t) = r_t.
+type SJF struct{}
+
+// Name implements Policy.
+func (SJF) Name() string { return "SJF" }
+
+// Score implements Policy.
+func (SJF) Score(j *trace.Job, _ int64) float64 { return float64(j.Request) }
+
+// WFP3 favours jobs with long waits, short requests and few processors
+// (Tang et al. 2009): score(t) = -(w_t/r_t)^3 * n_t.
+type WFP3 struct{}
+
+// Name implements Policy.
+func (WFP3) Name() string { return "WFP3" }
+
+// Score implements Policy.
+func (WFP3) Score(j *trace.Job, now int64) float64 {
+	wait := float64(now - j.Submit)
+	if wait < 0 {
+		wait = 0
+	}
+	rt := math.Max(float64(j.Request), 1)
+	ratio := wait / rt
+	return -(ratio * ratio * ratio) * float64(j.Procs)
+}
+
+// F1 is the best non-linear-regression policy from Carastan-Santos & de
+// Camargo (SC'17): score(t) = log10(r_t)*n_t + 870*log10(s_t).
+type F1 struct{}
+
+// Name implements Policy.
+func (F1) Name() string { return "F1" }
+
+// Score implements Policy.
+func (F1) Score(j *trace.Job, _ int64) float64 {
+	rt := math.Max(float64(j.Request), 1)
+	st := math.Max(float64(j.Submit), 1) // log10 needs a positive argument
+	return math.Log10(rt)*float64(j.Procs) + 870*math.Log10(st)
+}
+
+// ByName returns the policy with the given (case-sensitive) Table 3 name.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "FCFS":
+		return FCFS{}, nil
+	case "SJF":
+		return SJF{}, nil
+	case "WFP3":
+		return WFP3{}, nil
+	case "F1":
+		return F1{}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (want FCFS, SJF, WFP3 or F1)", name)
+}
+
+// All returns every Table 3 policy in the paper's order.
+func All() []Policy { return []Policy{FCFS{}, SJF{}, WFP3{}, F1{}} }
+
+// Sort orders jobs in place by ascending policy score, breaking ties by
+// submission time then ID so that schedules are deterministic.
+func Sort(jobs []*trace.Job, p Policy, now int64) {
+	sort.SliceStable(jobs, func(a, b int) bool {
+		sa, sb := p.Score(jobs[a], now), p.Score(jobs[b], now)
+		if sa != sb {
+			return sa < sb
+		}
+		if jobs[a].Submit != jobs[b].Submit {
+			return jobs[a].Submit < jobs[b].Submit
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+}

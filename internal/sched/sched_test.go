@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func job(id int, submit, request int64, procs int) *trace.Job {
+	return &trace.Job{ID: id, Submit: submit, Request: request, Runtime: request, Procs: procs}
+}
+
+func TestFCFSOrdersBySubmit(t *testing.T) {
+	jobs := []*trace.Job{job(1, 300, 10, 1), job(2, 100, 999, 1), job(3, 200, 5, 1)}
+	Sort(jobs, FCFS{}, 1000)
+	if jobs[0].ID != 2 || jobs[1].ID != 3 || jobs[2].ID != 1 {
+		t.Fatalf("FCFS order: %d %d %d", jobs[0].ID, jobs[1].ID, jobs[2].ID)
+	}
+}
+
+func TestSJFOrdersByRequest(t *testing.T) {
+	jobs := []*trace.Job{job(1, 0, 300, 1), job(2, 1, 100, 1), job(3, 2, 200, 1)}
+	Sort(jobs, SJF{}, 1000)
+	if jobs[0].ID != 2 || jobs[1].ID != 3 || jobs[2].ID != 1 {
+		t.Fatalf("SJF order: %d %d %d", jobs[0].ID, jobs[1].ID, jobs[2].ID)
+	}
+}
+
+func TestWFP3Formula(t *testing.T) {
+	j := job(1, 100, 50, 4)
+	// at now=200: wait=100, ratio=2, score = -(2^3)*4 = -32
+	if got := (WFP3{}).Score(j, 200); math.Abs(got+32) > 1e-9 {
+		t.Fatalf("WFP3 score = %v, want -32", got)
+	}
+	// negative wait clamps to 0
+	if got := (WFP3{}).Score(j, 50); got != 0 {
+		t.Fatalf("WFP3 score before submit = %v, want 0", got)
+	}
+}
+
+func TestWFP3PrefersLongWaiters(t *testing.T) {
+	longWait := job(1, 0, 100, 2)
+	shortWait := job(2, 900, 100, 2)
+	if (WFP3{}).Score(longWait, 1000) >= (WFP3{}).Score(shortWait, 1000) {
+		t.Fatal("WFP3 must prefer the longer-waiting job")
+	}
+}
+
+func TestF1Formula(t *testing.T) {
+	j := job(1, 1000, 100, 8)
+	want := math.Log10(100)*8 + 870*math.Log10(1000)
+	if got := (F1{}).Score(j, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("F1 score = %v, want %v", got, want)
+	}
+}
+
+func TestF1HandlesZeroSubmit(t *testing.T) {
+	j := job(1, 0, 100, 8)
+	if got := (F1{}).Score(j, 0); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("F1 score at submit=0 is %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"FCFS", "SJF", "WFP3", "F1"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestAllHasFourPolicies(t *testing.T) {
+	if got := len(All()); got != 4 {
+		t.Fatalf("All() has %d policies, want 4", got)
+	}
+}
+
+func TestSortDeterministicTieBreak(t *testing.T) {
+	// equal scores: ties broken by submit then ID
+	jobs := []*trace.Job{job(5, 10, 100, 1), job(2, 10, 100, 1), job(9, 5, 100, 1)}
+	Sort(jobs, SJF{}, 0)
+	if jobs[0].ID != 9 || jobs[1].ID != 2 || jobs[2].ID != 5 {
+		t.Fatalf("tie-break order: %d %d %d", jobs[0].ID, jobs[1].ID, jobs[2].ID)
+	}
+}
+
+// Property: Sort produces a non-decreasing score sequence for every policy.
+func TestSortMonotoneScores(t *testing.T) {
+	rng := stats.NewRNG(17)
+	for _, p := range All() {
+		f := func(n uint8) bool {
+			m := int(n%30) + 2
+			jobs := make([]*trace.Job, m)
+			for i := range jobs {
+				jobs[i] = job(i+1, rng.Int63n(10000), rng.Int63n(5000)+1, rng.Intn(64)+1)
+			}
+			now := int64(20000)
+			Sort(jobs, p, now)
+			for i := 1; i < m; i++ {
+				if p.Score(jobs[i-1], now) > p.Score(jobs[i], now) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}

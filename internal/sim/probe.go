@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Probe observes the engine after every processed event batch, enabling
+// queue-depth and utilization instrumentation without touching the
+// scheduling logic. Attach one via Config.Probe.
+type Probe interface {
+	Observe(now int64, queueLen, freeProcs, totalProcs int)
+}
+
+// TimelineProbe records a (time, queue depth, utilization) sample per
+// simulator event, plus running maxima — the data behind utilization and
+// backlog plots.
+type TimelineProbe struct {
+	Times    []int64
+	Queue    []int
+	Util     []float64
+	MaxQueue int
+	// BusyIntegral accumulates utilization x elapsed time, so the mean
+	// utilization over the run is BusyIntegral / (last - first).
+	BusyIntegral float64
+
+	lastTime int64
+	lastUtil float64
+	started  bool
+}
+
+// Observe implements Probe.
+func (p *TimelineProbe) Observe(now int64, queueLen, freeProcs, totalProcs int) {
+	util := 1 - float64(freeProcs)/float64(totalProcs)
+	p.Times = append(p.Times, now)
+	p.Queue = append(p.Queue, queueLen)
+	p.Util = append(p.Util, util)
+	if queueLen > p.MaxQueue {
+		p.MaxQueue = queueLen
+	}
+	if p.started {
+		p.BusyIntegral += p.lastUtil * float64(now-p.lastTime)
+	}
+	p.started = true
+	p.lastTime = now
+	p.lastUtil = util
+}
+
+// MeanUtilization returns the time-weighted mean utilization observed.
+func (p *TimelineProbe) MeanUtilization() float64 {
+	if len(p.Times) < 2 {
+		return 0
+	}
+	span := p.Times[len(p.Times)-1] - p.Times[0]
+	if span <= 0 {
+		return 0
+	}
+	return p.BusyIntegral / float64(span)
+}
+
+// Sparkline renders the utilization series as a coarse ASCII strip of the
+// given width — a quick visual check in CLI output.
+func (p *TimelineProbe) Sparkline(width int) string {
+	if len(p.Util) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	for i := 0; i < width; i++ {
+		idx := i * len(p.Util) / width
+		l := int(p.Util[idx] * float64(len(levels)-1))
+		if l < 0 {
+			l = 0
+		}
+		if l >= len(levels) {
+			l = len(levels) - 1
+		}
+		sb.WriteByte(levels[l])
+	}
+	return sb.String()
+}
+
+// String summarises the probe.
+func (p *TimelineProbe) String() string {
+	return fmt.Sprintf("events=%d max-queue=%d mean-util=%.1f%%",
+		len(p.Times), p.MaxQueue, p.MeanUtilization()*100)
+}

@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func TestTimelineProbeObservesRun(t *testing.T) {
+	tr := trace.SyntheticSDSCSP2(300, 13)
+	probe := &TimelineProbe{}
+	_, err := Run(tr, Config{
+		Policy:     sched.FCFS{},
+		Backfiller: backfill.NewEASY(backfill.RequestTime{}),
+		Probe:      probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.Times) == 0 {
+		t.Fatal("probe saw no events")
+	}
+	if len(probe.Times) != len(probe.Queue) || len(probe.Times) != len(probe.Util) {
+		t.Fatal("probe series lengths differ")
+	}
+	var prev int64 = -1
+	for i, tm := range probe.Times {
+		if tm < prev {
+			t.Fatalf("time went backwards at sample %d", i)
+		}
+		prev = tm
+		if probe.Util[i] < 0 || probe.Util[i] > 1 {
+			t.Fatalf("utilization %v out of range", probe.Util[i])
+		}
+		if probe.Queue[i] < 0 {
+			t.Fatal("negative queue depth")
+		}
+	}
+	mu := probe.MeanUtilization()
+	if mu <= 0 || mu > 1 || math.IsNaN(mu) {
+		t.Fatalf("mean utilization %v", mu)
+	}
+	if probe.MaxQueue == 0 {
+		t.Fatal("a loaded trace should have queued at some point")
+	}
+}
+
+func TestTimelineProbeSparkline(t *testing.T) {
+	p := &TimelineProbe{Util: []float64{0, 0.5, 1}}
+	s := p.Sparkline(6)
+	if len(s) != 6 {
+		t.Fatalf("sparkline length %d", len(s))
+	}
+	if s[0] != ' ' || s[5] != '@' {
+		t.Fatalf("sparkline extremes wrong: %q", s)
+	}
+	if (&TimelineProbe{}).Sparkline(5) != "" {
+		t.Fatal("empty probe should render empty sparkline")
+	}
+}
+
+func TestTimelineProbeString(t *testing.T) {
+	p := &TimelineProbe{}
+	p.Observe(0, 3, 2, 4)
+	p.Observe(10, 1, 4, 4)
+	s := p.String()
+	if !strings.Contains(s, "max-queue=3") {
+		t.Fatalf("probe summary %q", s)
+	}
+	// mean utilization over [0,10] at 50% busy
+	if got := p.MeanUtilization(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mean utilization %v, want 0.5", got)
+	}
+}
+
+func TestProbeDoesNotAlterSchedule(t *testing.T) {
+	tr := trace.SyntheticHPC2N(200, 17)
+	cfg := Config{Policy: sched.SJF{}, Backfiller: backfill.NewEASY(backfill.RequestTime{})}
+	plain, err := Run(tr.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Probe = &TimelineProbe{}
+	probed, err := Run(tr.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Summary.MeanBSLD != probed.Summary.MeanBSLD {
+		t.Fatal("probe changed scheduling results")
+	}
+}

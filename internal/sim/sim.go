@@ -1,0 +1,194 @@
+// Package sim is the event-driven HPC scheduling simulator (the paper's
+// "Simulated Environment", §3.4): it replays a job trace against a
+// homogeneous cluster under a base scheduling policy, invoking a pluggable
+// backfiller whenever the head of the queue cannot start.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/backfill"
+	"repro/internal/cluster"
+	"repro/internal/eventq"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Config selects the scheduling behaviour for a run.
+type Config struct {
+	// Policy is the base scheduling policy (Table 3). Required.
+	Policy sched.Policy
+	// Backfiller runs when the head job cannot start. nil disables
+	// backfilling entirely (pure FCFS-style blocking).
+	Backfiller backfill.Backfiller
+	// Probe, when non-nil, observes the engine after every event batch
+	// (instrumentation only; it cannot influence scheduling).
+	Probe Probe
+}
+
+// Result is the outcome of simulating a trace.
+type Result struct {
+	Records []metrics.Record
+	Summary metrics.Summary
+}
+
+// Engine is the simulator state machine. It implements backfill.State so
+// backfillers (including the RL agent) can inspect and act on it. Use Run
+// for the common replay-a-whole-trace case.
+type Engine struct {
+	cfg     Config
+	procs   int
+	clock   int64
+	cluster *cluster.Cluster
+	events  eventq.Queue
+	queue   []*trace.Job
+	running map[int]backfill.Running
+	records []metrics.Record
+}
+
+// NewEngine prepares an engine for the given trace. The trace is validated;
+// all submissions are pre-loaded as arrival events.
+func NewEngine(t *trace.Trace, cfg Config) (*Engine, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("sim: config needs a base scheduling policy")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		procs:   t.Procs,
+		cluster: cluster.New(t.Procs),
+		running: make(map[int]backfill.Running),
+		records: make([]metrics.Record, 0, len(t.Jobs)),
+	}
+	for _, j := range t.Jobs {
+		e.events.Push(eventq.Event{Time: j.Submit, Kind: eventq.Arrive, Payload: j})
+	}
+	return e, nil
+}
+
+// Run replays the whole trace to completion and returns per-job records plus
+// aggregate metrics.
+func Run(t *trace.Trace, cfg Config) (*Result, error) {
+	e, err := NewEngine(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.RunToCompletion()
+	return &Result{Records: e.records, Summary: metrics.Summarize(e.records, t.Procs)}, nil
+}
+
+// RunToCompletion processes every event until all jobs have finished.
+func (e *Engine) RunToCompletion() {
+	for {
+		ev, ok := e.events.Pop()
+		if !ok {
+			return
+		}
+		e.clock = ev.Time
+		e.apply(ev)
+		// Drain all events with the same timestamp before scheduling, so a
+		// single decision sees every completion/arrival at this instant.
+		for {
+			next, ok := e.events.Peek()
+			if !ok || next.Time != e.clock {
+				break
+			}
+			ev, _ = e.events.Pop()
+			e.apply(ev)
+		}
+		e.schedule()
+		if e.cfg.Probe != nil {
+			e.cfg.Probe.Observe(e.clock, len(e.queue), e.cluster.Free(), e.procs)
+		}
+	}
+}
+
+func (e *Engine) apply(ev eventq.Event) {
+	switch ev.Kind {
+	case eventq.Arrive:
+		e.queue = append(e.queue, ev.Payload.(*trace.Job))
+	case eventq.Finish:
+		j := ev.Payload.(*trace.Job)
+		if err := e.cluster.Release(j.ID); err != nil {
+			panic(fmt.Sprintf("sim: releasing job %d: %v", j.ID, err))
+		}
+		delete(e.running, j.ID)
+	}
+}
+
+// schedule starts queue-head jobs while they fit, then gives the backfiller
+// one round if the head is blocked.
+func (e *Engine) schedule() {
+	if len(e.queue) == 0 {
+		return
+	}
+	sched.Sort(e.queue, e.cfg.Policy, e.clock)
+	for len(e.queue) > 0 && e.cluster.Fits(e.queue[0].Procs) {
+		e.StartJob(e.queue[0])
+	}
+	if len(e.queue) == 0 || e.cfg.Backfiller == nil {
+		return
+	}
+	head := e.queue[0]
+	rest := append([]*trace.Job(nil), e.queue[1:]...)
+	e.cfg.Backfiller.Backfill(e, head, rest)
+}
+
+// Now implements backfill.State.
+func (e *Engine) Now() int64 { return e.clock }
+
+// FreeProcs implements backfill.State.
+func (e *Engine) FreeProcs() int { return e.cluster.Free() }
+
+// TotalProcs implements backfill.State.
+func (e *Engine) TotalProcs() int { return e.procs }
+
+// Running implements backfill.State; the slice is sorted by job ID for
+// determinism.
+func (e *Engine) Running() []backfill.Running {
+	rs := make([]backfill.Running, 0, len(e.running))
+	for _, r := range e.running {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(a, b int) bool { return rs[a].Job.ID < rs[b].Job.ID })
+	return rs
+}
+
+// StartJob implements backfill.State: it allocates processors, removes the
+// job from the waiting queue, and schedules its completion. As on a real
+// system (§2.1.2: "the scheduler will cancel or kill jobs that surpass their
+// Request Time"), a job whose actual runtime exceeds its request is killed
+// when the wall-time limit expires.
+func (e *Engine) StartJob(j *trace.Job) {
+	if err := e.cluster.Alloc(j.ID, j.Procs); err != nil {
+		panic(fmt.Sprintf("sim: starting job %d: %v", j.ID, err))
+	}
+	removed := false
+	for i, q := range e.queue {
+		if q == j {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		panic(fmt.Sprintf("sim: job %d started but not in queue", j.ID))
+	}
+	run := j.Runtime
+	if j.Request > 0 && run > j.Request {
+		run = j.Request // killed at the wall-time limit
+	}
+	e.running[j.ID] = backfill.Running{Job: j, Start: e.clock}
+	e.events.Push(eventq.Event{Time: e.clock + run, Kind: eventq.Finish, Payload: j})
+	e.records = append(e.records, metrics.Record{Job: j, Start: e.clock, End: e.clock + run})
+}
+
+// QueueLen returns the number of waiting jobs (useful for instrumentation).
+func (e *Engine) QueueLen() int { return len(e.queue) }
+
+// Records returns the per-job outcomes recorded so far.
+func (e *Engine) Records() []metrics.Record { return e.records }

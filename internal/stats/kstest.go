@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov-Smirnov statistic: the
+// maximum distance between the empirical CDFs of a and b. It is used to
+// check that surrogate workload generators produce the same distributions
+// across seeds (distributional stability), and to compare against reference
+// samples.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var i, j int
+	var d float64
+	for i < len(as) || j < len(bs) {
+		// Evaluate at the next distinct sample value, consuming every tied
+		// observation from both samples so ties do not inflate the distance.
+		var v float64
+		switch {
+		case i >= len(as):
+			v = bs[j]
+		case j >= len(bs):
+			v = as[i]
+		case as[i] <= bs[j]:
+			v = as[i]
+		default:
+			v = bs[j]
+		}
+		for i < len(as) && as[i] == v {
+			i++
+		}
+		for j < len(bs) && bs[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSCritical returns the large-sample critical value of the two-sample KS
+// statistic at significance alpha (supported: 0.10, 0.05, 0.01). Samples
+// with KSStatistic below this are statistically indistinguishable at that
+// level.
+func KSCritical(nA, nB int, alpha float64) float64 {
+	if nA <= 0 || nB <= 0 {
+		return 1
+	}
+	var c float64
+	switch {
+	case alpha <= 0.01:
+		c = 1.63
+	case alpha <= 0.05:
+		c = 1.36
+	default:
+		c = 1.22
+	}
+	return c * math.Sqrt(float64(nA+nB)/float64(nA)/float64(nB))
+}
+
+// Histogram bins xs into `bins` equal-width buckets over [min, max] and
+// returns the bucket counts plus the bucket width.
+func Histogram(xs []float64, bins int) (counts []int, lo, width float64) {
+	if len(xs) == 0 || bins <= 0 {
+		return nil, 0, 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	counts = make([]int, bins)
+	if hi == lo {
+		counts[0] = len(xs)
+		return counts, lo, 0
+	}
+	width = (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts, lo, width
+}

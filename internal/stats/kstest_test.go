@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestKSIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(xs, xs); d > 1e-12 {
+		t.Fatalf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSDisjointSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSStatistic(a, b); d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if KSStatistic(nil, []float64{1}) != 1 {
+		t.Fatal("empty sample should give maximal distance")
+	}
+}
+
+func TestKSSameDistributionDifferentSeeds(t *testing.T) {
+	r1, r2 := NewRNG(1), NewRNG(2)
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r1.Gamma(2, 3)
+		b[i] = r2.Gamma(2, 3)
+	}
+	d := KSStatistic(a, b)
+	if crit := KSCritical(n, n, 0.01); d > crit {
+		t.Fatalf("same-distribution KS %v exceeds critical %v", d, crit)
+	}
+}
+
+func TestKSDetectsDifferentDistributions(t *testing.T) {
+	r1, r2 := NewRNG(1), NewRNG(2)
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = r1.Gamma(2, 3)
+		b[i] = r2.Gamma(2, 5) // different scale
+	}
+	d := KSStatistic(a, b)
+	if crit := KSCritical(n, n, 0.01); d <= crit {
+		t.Fatalf("different distributions not detected: KS %v <= %v", d, crit)
+	}
+}
+
+func TestKSCriticalShrinksWithSamples(t *testing.T) {
+	if KSCritical(100, 100, 0.05) <= KSCritical(10000, 10000, 0.05) {
+		t.Fatal("critical value should shrink with sample size")
+	}
+	if KSCritical(0, 10, 0.05) != 1 {
+		t.Fatal("degenerate sample sizes should give 1")
+	}
+	if KSCritical(100, 100, 0.01) <= KSCritical(100, 100, 0.10) {
+		t.Fatal("stricter alpha should give larger critical value")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, lo, width := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if lo != 0 || width != 1.8 {
+		t.Fatalf("lo=%v width=%v", lo, width)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram lost values: %v", counts)
+	}
+	if counts[0] != 2 || counts[4] != 2 {
+		t.Fatalf("bucket counts %v", counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	counts, _, width := Histogram([]float64{5, 5, 5}, 4)
+	if width != 0 || counts[0] != 3 {
+		t.Fatalf("constant sample histogram wrong: %v width %v", counts, width)
+	}
+	if c, _, _ := Histogram(nil, 4); c != nil {
+		t.Fatal("empty histogram should be nil")
+	}
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestNewRNGDifferentSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered only %d values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(3, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Fatalf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exponential(50)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-50) > 1.5 {
+		t.Fatalf("exponential mean = %v, want ~50", mean)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 2.0},
+		{1.0, 1.0},
+		{4.2, 0.94},
+		{9.0, 0.5},
+	}
+	for _, c := range cases {
+		r := NewRNG(uint64(c.shape*1000) + uint64(c.scale*10))
+		const n = 200000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			v := r.Gamma(c.shape, c.scale)
+			if v <= 0 {
+				t.Fatalf("Gamma(%v,%v) produced non-positive %v", c.shape, c.scale, v)
+			}
+			sum += v
+			sq += v * v
+		}
+		mean := sum / n
+		variance := sq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.02 {
+			t.Fatalf("Gamma(%v,%v) mean = %v, want ~%v", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.10*wantVar+0.05 {
+			t.Fatalf("Gamma(%v,%v) variance = %v, want ~%v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0, 1) did not panic")
+		}
+	}()
+	NewRNG(1).Gamma(0, 1)
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		if v := r.LogNormal(1, 2); v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("LogNormal produced %v", v)
+		}
+	}
+}
+
+func TestTwoStageUniformRange(t *testing.T) {
+	r := NewRNG(17)
+	lo, med, hi := 1.0, 4.0, 8.0
+	nLow := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.TwoStageUniform(lo, med, hi, 0.7)
+		if v < lo || v > hi {
+			t.Fatalf("TwoStageUniform out of range: %v", v)
+		}
+		if v < med {
+			nLow++
+		}
+	}
+	frac := float64(nLow) / n
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Fatalf("low-stage fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestHyperGammaMixture(t *testing.T) {
+	r := NewRNG(23)
+	// components with well separated means: 2*1=2 and 100*1=100
+	const n = 100000
+	small := 0
+	for i := 0; i < n; i++ {
+		v := r.HyperGamma(2, 1, 100, 1, 0.8)
+		if v <= 0 {
+			t.Fatalf("HyperGamma produced %v", v)
+		}
+		if v < 30 {
+			small++
+		}
+	}
+	frac := float64(small) / n
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Fatalf("first-component fraction = %v, want ~0.8", frac)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(99)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlapped in %d/100 outputs", same)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(31)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(41)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit fraction = %v", frac)
+	}
+}

@@ -1,0 +1,110 @@
+// Package trace provides the batch-job model, Standard Workload Format (SWF)
+// parsing and writing, workload statistics, job-sequence sampling, and
+// statistical surrogate generators for the archive traces the paper evaluates
+// on (SDSC-SP2, HPC2N).
+package trace
+
+import "fmt"
+
+// Job is one batch job, following the Standard Workload Format field naming
+// (Table 1 of the paper; Feitelson et al., "Experience with using the
+// Parallel Workloads Archive"). Times are in seconds.
+type Job struct {
+	// ID is the job number (1-based in SWF files).
+	ID int
+	// Submit is the submission time relative to the trace start (s_t).
+	Submit int64
+	// Runtime is the actual runtime observed after execution (AR).
+	Runtime int64
+	// Request is the user-provided runtime estimate / wall time (r_t).
+	// Schedulers kill jobs that exceed it, so users overestimate.
+	Request int64
+	// Procs is the number of requested processors (n_t).
+	Procs int
+	// User, Group and Executable are optional SWF identity fields, kept so
+	// that parsed traces round-trip; they do not influence scheduling.
+	User, Group, Executable int
+	// Queue and Partition are optional SWF fields.
+	Queue, Partition int
+	// Status is the SWF completion status (1 = completed). Synthetic jobs
+	// use 1.
+	Status int
+}
+
+// Validate reports whether the job has the minimal attributes scheduling
+// requires.
+func (j *Job) Validate() error {
+	if j.Procs <= 0 {
+		return fmt.Errorf("trace: job %d has non-positive processor count %d", j.ID, j.Procs)
+	}
+	if j.Runtime < 0 {
+		return fmt.Errorf("trace: job %d has negative runtime %d", j.ID, j.Runtime)
+	}
+	if j.Request <= 0 {
+		return fmt.Errorf("trace: job %d has non-positive request time %d", j.ID, j.Request)
+	}
+	if j.Submit < 0 {
+		return fmt.Errorf("trace: job %d has negative submit time %d", j.ID, j.Submit)
+	}
+	return nil
+}
+
+// Clone returns a copy of the job.
+func (j *Job) Clone() *Job {
+	c := *j
+	return &c
+}
+
+// Trace is an ordered collection of jobs plus the size of the machine that
+// produced (or should run) them.
+type Trace struct {
+	// Name identifies the workload (e.g. "SDSC-SP2").
+	Name string
+	// Procs is the total number of processors in the cluster.
+	Procs int
+	// Jobs are sorted by non-decreasing submit time.
+	Jobs []*Job
+}
+
+// Len returns the number of jobs.
+func (t *Trace) Len() int { return len(t.Jobs) }
+
+// Clone deep-copies the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Name: t.Name, Procs: t.Procs, Jobs: make([]*Job, len(t.Jobs))}
+	for i, j := range t.Jobs {
+		c.Jobs[i] = j.Clone()
+	}
+	return c
+}
+
+// Validate checks every job and the trace-level invariants (sorted submits,
+// jobs fit the machine).
+func (t *Trace) Validate() error {
+	if t.Procs <= 0 {
+		return fmt.Errorf("trace: %q has non-positive machine size %d", t.Name, t.Procs)
+	}
+	var prev int64
+	for i, j := range t.Jobs {
+		if err := j.Validate(); err != nil {
+			return err
+		}
+		if j.Procs > t.Procs {
+			return fmt.Errorf("trace: job %d requests %d procs > machine size %d", j.ID, j.Procs, t.Procs)
+		}
+		if j.Submit < prev {
+			return fmt.Errorf("trace: job at index %d submitted at %d before previous %d", i, j.Submit, prev)
+		}
+		prev = j.Submit
+	}
+	return nil
+}
+
+// Head returns a trace containing the first n jobs (or all of them if the
+// trace is shorter), sharing job pointers with the original.
+func (t *Trace) Head(n int) *Trace {
+	if n > len(t.Jobs) {
+		n = len(t.Jobs)
+	}
+	return &Trace{Name: t.Name, Procs: t.Procs, Jobs: t.Jobs[:n]}
+}

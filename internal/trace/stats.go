@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Stats summarises the characteristics Table 2 of the paper reports for each
+// workload.
+type Stats struct {
+	Name             string
+	Jobs             int
+	Procs            int     // machine size
+	MeanInterarrival float64 // it (seconds)
+	MeanRequest      float64 // rt (seconds)
+	MeanRuntime      float64 // actual runtime mean (seconds)
+	MeanProcs        float64 // nt
+	MaxJobProcs      int
+	Span             int64 // submit-time span (seconds)
+	MeanOverestimate float64
+}
+
+// ComputeStats derives workload statistics from a trace.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{Name: t.Name, Jobs: len(t.Jobs), Procs: t.Procs}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	var gaps, reqs, runs, procs, overs []float64
+	var prev int64
+	for i, j := range t.Jobs {
+		if i > 0 {
+			gaps = append(gaps, float64(j.Submit-prev))
+		}
+		prev = j.Submit
+		reqs = append(reqs, float64(j.Request))
+		runs = append(runs, float64(j.Runtime))
+		procs = append(procs, float64(j.Procs))
+		if j.Runtime > 0 {
+			overs = append(overs, float64(j.Request)/float64(j.Runtime))
+		}
+		if j.Procs > s.MaxJobProcs {
+			s.MaxJobProcs = j.Procs
+		}
+	}
+	s.MeanInterarrival = stats.Mean(gaps)
+	s.MeanRequest = stats.Mean(reqs)
+	s.MeanRuntime = stats.Mean(runs)
+	s.MeanProcs = stats.Mean(procs)
+	s.MeanOverestimate = stats.Mean(overs)
+	s.Span = t.Jobs[len(t.Jobs)-1].Submit - t.Jobs[0].Submit
+	return s
+}
+
+// String renders the statistics in a Table 2-like row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-10s jobs=%-6d size=%-4d it=%-7.0f rt=%-7.0f ar=%-7.0f nt=%-5.1f over=%.2f",
+		s.Name, s.Jobs, s.Procs, s.MeanInterarrival, s.MeanRequest, s.MeanRuntime, s.MeanProcs, s.MeanOverestimate)
+}

@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestJobValidate(t *testing.T) {
+	good := &Job{ID: 1, Submit: 0, Runtime: 10, Request: 20, Procs: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []*Job{
+		{ID: 2, Runtime: 10, Request: 20, Procs: 0},
+		{ID: 3, Runtime: -1, Request: 20, Procs: 1},
+		{ID: 4, Runtime: 10, Request: 0, Procs: 1},
+		{ID: 5, Submit: -1, Runtime: 10, Request: 20, Procs: 1},
+	}
+	for _, j := range cases {
+		if err := j.Validate(); err == nil {
+			t.Fatalf("invalid job %d accepted", j.ID)
+		}
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := &Trace{Name: "x", Procs: 8, Jobs: []*Job{
+		{ID: 1, Submit: 0, Runtime: 5, Request: 5, Procs: 4},
+		{ID: 2, Submit: 10, Runtime: 5, Request: 5, Procs: 8},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	tr.Jobs[1].Procs = 9
+	if err := tr.Validate(); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+	tr.Jobs[1].Procs = 8
+	tr.Jobs[1].Submit = -5
+	if err := tr.Validate(); err == nil {
+		t.Fatal("out-of-order submits accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := &Trace{Name: "x", Procs: 8, Jobs: []*Job{{ID: 1, Runtime: 5, Request: 5, Procs: 1}}}
+	c := tr.Clone()
+	c.Jobs[0].Runtime = 99
+	if tr.Jobs[0].Runtime != 5 {
+		t.Fatal("Clone shares job storage")
+	}
+}
+
+func TestHead(t *testing.T) {
+	tr := SyntheticSDSCSP2(100, 1)
+	h := tr.Head(10)
+	if h.Len() != 10 {
+		t.Fatalf("Head(10) has %d jobs", h.Len())
+	}
+	if h2 := tr.Head(1000); h2.Len() != 100 {
+		t.Fatalf("Head(1000) has %d jobs", h2.Len())
+	}
+}
+
+const sampleSWF = `; Trace: test
+; MaxProcs: 64
+; UnixStartTime: 0
+1 100 5 360 4 -1 -1 4 600 -1 1 7 3 2 1 1 -1 -1
+2 160 0 10 1 -1 -1 1 100 -1 1 8 3 2 1 1 -1 -1
+3 200 0 -1 2 -1 -1 2 100 -1 0 8 3 2 1 1 -1 -1
+4 300 0 50 -1 -1 -1 8 -1 -1 1 9 3 2 1 1 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader(sampleSWF), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Procs != 64 {
+		t.Fatalf("MaxProcs = %d, want 64", tr.Procs)
+	}
+	// job 3 has runtime -1 and must be filtered
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("parsed %d jobs, want 3", len(tr.Jobs))
+	}
+	j := tr.Jobs[0]
+	if j.ID != 1 || j.Submit != 0 || j.Runtime != 360 || j.Request != 600 || j.Procs != 4 {
+		t.Fatalf("job 1 parsed as %+v", j)
+	}
+	// submit rebased: job 2 at 160-100=60
+	if tr.Jobs[1].Submit != 60 {
+		t.Fatalf("job 2 submit = %d, want 60", tr.Jobs[1].Submit)
+	}
+	// job 4: request <= 0 falls back to runtime
+	j4 := tr.Jobs[2]
+	if j4.Request != 50 || j4.Procs != 8 {
+		t.Fatalf("job 4 parsed as %+v", j4)
+	}
+}
+
+func TestParseSWFBadLine(t *testing.T) {
+	if _, err := ParseSWF(strings.NewReader("1 2 3\n"), "bad"); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ParseSWF(strings.NewReader("1 x 3 4 5 6 7 8 9 10\n"), "bad"); err == nil {
+		t.Fatal("non-numeric field accepted")
+	}
+}
+
+func TestParseSWFNoHeaderDerivesProcs(t *testing.T) {
+	tr, err := ParseSWF(strings.NewReader("1 0 0 10 4 -1 -1 16 20 -1 1 1 1 1 1 1 -1 -1\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Procs != 16 {
+		t.Fatalf("derived procs = %d, want 16", tr.Procs)
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(5)
+	f := func(n uint8) bool {
+		m := int(n%40) + 1
+		orig := &Trace{Name: "rt", Procs: 256}
+		var submit int64
+		for i := 0; i < m; i++ {
+			submit += rng.Int63n(1000)
+			run := rng.Int63n(5000) + 1
+			orig.Jobs = append(orig.Jobs, &Job{
+				ID: i + 1, Submit: submit, Runtime: run,
+				Request: run + rng.Int63n(5000), Procs: rng.Intn(256) + 1,
+				User: rng.Intn(50), Group: rng.Intn(5), Executable: rng.Intn(20),
+				Queue: 1, Partition: 1, Status: 1,
+			})
+		}
+		rebase(orig.Jobs)
+		var sb strings.Builder
+		if err := WriteSWF(&sb, orig); err != nil {
+			return false
+		}
+		got, err := ParseSWF(strings.NewReader(sb.String()), "rt")
+		if err != nil {
+			return false
+		}
+		if got.Procs != orig.Procs || len(got.Jobs) != len(orig.Jobs) {
+			return false
+		}
+		for i, j := range got.Jobs {
+			o := orig.Jobs[i]
+			if j.ID != o.ID || j.Submit != o.Submit || j.Runtime != o.Runtime ||
+				j.Request != o.Request || j.Procs != o.Procs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticSDSCSP2MatchesTable2(t *testing.T) {
+	tr := SyntheticSDSCSP2(10000, 42)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(tr)
+	checkWithin(t, "size", float64(s.Procs), 128, 0)
+	checkWithin(t, "it", s.MeanInterarrival, 1055, 0.08)
+	checkWithin(t, "rt", s.MeanRequest, 6687, 0.08)
+	checkWithin(t, "nt", s.MeanProcs, 11, 0.30)
+	if s.MeanOverestimate < 1.3 {
+		t.Fatalf("mean overestimation factor %.2f too small to be realistic", s.MeanOverestimate)
+	}
+}
+
+func TestSyntheticHPC2NMatchesTable2(t *testing.T) {
+	tr := SyntheticHPC2N(10000, 42)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(tr)
+	checkWithin(t, "size", float64(s.Procs), 240, 0)
+	checkWithin(t, "it", s.MeanInterarrival, 538, 0.08)
+	checkWithin(t, "rt", s.MeanRequest, 17024, 0.08)
+	checkWithin(t, "nt", s.MeanProcs, 6, 0.35)
+}
+
+func checkWithin(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if tol == 0 {
+		if got != want {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+		return
+	}
+	if math.Abs(got-want) > tol*want {
+		t.Fatalf("%s = %v, want %v (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := SyntheticSDSCSP2(500, 7)
+	b := SyntheticSDSCSP2(500, 7)
+	for i := range a.Jobs {
+		if *a.Jobs[i] != *b.Jobs[i] {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+	c := SyntheticSDSCSP2(500, 8)
+	same := 0
+	for i := range a.Jobs {
+		if a.Jobs[i].Runtime == c.Jobs[i].Runtime {
+			same++
+		}
+	}
+	if same == len(a.Jobs) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSyntheticRequestGEQRuntime(t *testing.T) {
+	tr := SyntheticHPC2N(5000, 3)
+	for _, j := range tr.Jobs {
+		if j.Request < j.Runtime {
+			t.Fatalf("job %d: request %d < runtime %d", j.ID, j.Request, j.Runtime)
+		}
+	}
+}
+
+func TestSampleSequence(t *testing.T) {
+	tr := SyntheticSDSCSP2(1000, 1)
+	rng := stats.NewRNG(2)
+	s := SampleSequence(tr, rng, 100)
+	if s.Len() != 100 {
+		t.Fatalf("sample has %d jobs", s.Len())
+	}
+	if s.Jobs[0].Submit != 0 {
+		t.Fatalf("sample not rebased: first submit %d", s.Jobs[0].Submit)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// mutation must not touch the source
+	s.Jobs[0].Runtime = 123456789
+	for _, j := range tr.Jobs {
+		if j.Runtime == 123456789 {
+			t.Fatal("sample shares storage with source trace")
+		}
+	}
+}
+
+func TestSampleSequenceWholeTrace(t *testing.T) {
+	tr := SyntheticSDSCSP2(50, 1)
+	s := SampleSequence(tr, stats.NewRNG(1), 500)
+	if s.Len() != 50 {
+		t.Fatalf("whole-trace sample has %d jobs", s.Len())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	tr := SyntheticSDSCSP2(100, 1)
+	train, test := Split(tr, 0.8)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	if test.Jobs[0].Submit != 0 {
+		t.Fatal("test half not rebased")
+	}
+}
+
+func TestSliceBounds(t *testing.T) {
+	tr := SyntheticSDSCSP2(10, 1)
+	s := Slice(tr, -5, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Slice(-5,3) has %d jobs", s.Len())
+	}
+	s = Slice(tr, 8, 10)
+	if s.Len() != 2 {
+		t.Fatalf("Slice(8,10) has %d jobs", s.Len())
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(&Trace{Name: "empty", Procs: 4})
+	if s.Jobs != 0 || s.MeanProcs != 0 {
+		t.Fatalf("unexpected stats for empty trace: %+v", s)
+	}
+	_ = s.String()
+}
