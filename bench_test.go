@@ -198,6 +198,58 @@ func BenchmarkSimulatorConservative(b *testing.B) {
 	}
 }
 
+// BenchmarkQueueMaintenanceStatic isolates waiting-queue upkeep for a
+// static-score policy: FCFS with no backfiller exercises only binary
+// insertion, binary-search removal and the running-set bookkeeping.
+func BenchmarkQueueMaintenanceStatic(b *testing.B) {
+	tr := trace.SyntheticSDSCSP2(2000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr.Clone(), sim.Config{Policy: sched.FCFS{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueueMaintenanceTimeVarying is the same workload under WFP3,
+// which falls back to one decorated re-sort per event.
+func BenchmarkQueueMaintenanceTimeVarying(b *testing.B) {
+	tr := trace.SyntheticSDSCSP2(2000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr.Clone(), sim.Config{Policy: sched.WFP3{}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRunning measures State.Running with 512 executing jobs —
+// the query every backfiller reservation pass issues against the engine.
+func BenchmarkEngineRunning(b *testing.B) {
+	const n = 512
+	tr := &trace.Trace{Name: "wide", Procs: n}
+	for i := 0; i < n; i++ {
+		tr.Jobs = append(tr.Jobs, &trace.Job{ID: i + 1, Submit: 0, Runtime: 1 << 30, Request: 1 << 30, Procs: 1})
+	}
+	e, err := sim.NewEngine(tr, sim.Config{Policy: sched.FCFS{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Step() // all jobs start at t=0
+	if len(e.Running()) != n {
+		b.Fatalf("%d running, want %d", len(e.Running()), n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs := e.Running(); len(rs) != n {
+			b.Fatal("running set changed")
+		}
+	}
+}
+
 // BenchmarkKernelForward measures one kernel-network score (the inner loop
 // of every RL decision).
 func BenchmarkKernelForward(b *testing.B) {

@@ -9,6 +9,7 @@ package backfill
 import (
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/trace"
 )
 
@@ -28,7 +29,9 @@ type State interface {
 	FreeProcs() int
 	// TotalProcs returns the machine size.
 	TotalProcs() int
-	// Running returns the currently executing jobs (any order).
+	// Running returns the currently executing jobs (any order). The slice
+	// may be the engine's live bookkeeping: callers must treat it as
+	// read-only and must not retain it across StartJob calls.
 	Running() []Running
 	// StartJob begins executing a waiting job immediately. It panics if the
 	// job does not fit; callers must check FreeProcs first.
@@ -52,29 +55,51 @@ type Reservation struct {
 	Extra  int   // processors free at Shadow beyond the head's need
 }
 
-// ComputeReservation derives the head job's reservation from the running
-// jobs' estimated completions (start + estimate). This is the core EASY
+// jobEnd decorates one running job with its estimated completion so the
+// estimator runs exactly once per job per reservation, not inside the sort
+// comparator.
+type jobEnd struct {
+	end   int64
+	id    int
+	procs int
+}
+
+// ReservationScratch holds the reusable decoration buffer for reservation
+// computations. Backfillers that compute reservations on every round (EASY,
+// the RL agent) should embed one to keep the hot path allocation-free. The
+// zero value is ready to use; a scratch is not goroutine-safe.
+type ReservationScratch struct {
+	ends []jobEnd
+}
+
+// Compute derives the head job's reservation from the running jobs'
+// estimated completions (start + estimate). This is the core EASY
 // bookkeeping (§2.1.3); the RL agent reuses it to detect reservation
 // violations.
-func ComputeReservation(st State, head *trace.Job, est Estimator) Reservation {
+func (s *ReservationScratch) Compute(st State, head *trace.Job, est Estimator) Reservation {
 	free := st.FreeProcs()
 	if free >= head.Procs {
 		return Reservation{Shadow: st.Now(), Extra: free - head.Procs}
 	}
-	running := append([]Running(nil), st.Running()...)
-	sort.Slice(running, func(a, b int) bool {
-		ea := running[a].Start + est.Estimate(running[a].Job)
-		eb := running[b].Start + est.Estimate(running[b].Job)
-		if ea != eb {
-			return ea < eb
+	running := st.Running()
+	if cap(s.ends) < len(running) {
+		s.ends = make([]jobEnd, len(running))
+	}
+	ends := s.ends[:len(running)]
+	for i, r := range running {
+		ends[i] = jobEnd{end: r.Start + est.Estimate(r.Job), id: r.Job.ID, procs: r.Job.Procs}
+	}
+	sort.Slice(ends, func(a, b int) bool {
+		if ends[a].end != ends[b].end {
+			return ends[a].end < ends[b].end
 		}
-		return running[a].Job.ID < running[b].Job.ID
+		return ends[a].id < ends[b].id
 	})
 	avail := free
-	for _, r := range running {
-		avail += r.Job.Procs
+	for _, r := range ends {
+		avail += r.procs
 		if avail >= head.Procs {
-			end := r.Start + est.Estimate(r.Job)
+			end := r.end
 			if end < st.Now() {
 				// The job has outlived its estimate (possible when the
 				// estimator underestimates); it can finish at any moment.
@@ -86,4 +111,26 @@ func ComputeReservation(st State, head *trace.Job, est Estimator) Reservation {
 	// Unreachable for valid traces (head.Procs <= machine size), but return
 	// a conservative answer instead of panicking on malformed input.
 	return Reservation{Shadow: st.Now(), Extra: 0}
+}
+
+// ComputeReservation is the convenience form of ReservationScratch.Compute
+// for call sites outside the simulation hot path.
+func ComputeReservation(st State, head *trace.Job, est Estimator) Reservation {
+	var s ReservationScratch
+	return s.Compute(st, head, est)
+}
+
+// fillProfileFromRunning resets p to the availability implied by the
+// running jobs' estimated completions, shared by every profile-based
+// strategy. A job that has outlived its estimate (end <= now) is assumed to
+// release imminently (now + 1). Running jobs always fit by construction.
+func fillProfileFromRunning(p *cluster.Profile, st State, est Estimator, now int64) {
+	p.Reset(st.TotalProcs(), now)
+	for _, r := range st.Running() {
+		end := r.Start + est.Estimate(r.Job)
+		if end <= now {
+			end = now + 1
+		}
+		_ = p.Reserve(now, end, r.Job.Procs)
+	}
 }

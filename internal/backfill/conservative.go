@@ -13,6 +13,11 @@ import (
 // an ablation baseline rather than a paper table entry.
 type Conservative struct {
 	Est Estimator
+
+	// Reusable scratch: the availability profile and reservation-start map
+	// are rebuilt on every round, so their storage is kept across calls.
+	prof   cluster.Profile
+	starts map[int]int64
 }
 
 // NewConservative returns conservative backfilling with the given estimator.
@@ -39,6 +44,37 @@ func (c *Conservative) Backfill(st State, head *trace.Job, queue []*trace.Job) {
 	}
 }
 
+// reserveAll re-reserves the head and then every queued job in policy order
+// on p, skipping `skip`. When record is non-nil each job's reserved start is
+// stored there; when limits is non-nil a job whose start lands after its
+// limit aborts the pass. It returns false when a reservation fails or a
+// limit is exceeded.
+func (c *Conservative) reserveAll(p *cluster.Profile, now int64, head *trace.Job, queue []*trace.Job, skip *trace.Job, record, limits map[int]int64) bool {
+	place := func(j *trace.Job) bool {
+		if j == skip {
+			return true
+		}
+		dur := c.Est.Estimate(j)
+		start := p.FindStart(now, dur, j.Procs)
+		if err := p.Reserve(start, start+dur, j.Procs); err != nil {
+			return false
+		}
+		if record != nil {
+			record[j.ID] = start
+		}
+		return limits == nil || start <= limits[j.ID]
+	}
+	if !place(head) {
+		return false
+	}
+	for _, j := range queue {
+		if !place(j) {
+			return false
+		}
+	}
+	return true
+}
+
 // backfillOne builds the availability profile (running jobs + reservations
 // for the head and every queued job in order) and starts the first candidate
 // whose immediate execution leaves all reservations intact. It returns the
@@ -46,27 +82,16 @@ func (c *Conservative) Backfill(st State, head *trace.Job, queue []*trace.Job) {
 func (c *Conservative) backfillOne(st State, head *trace.Job, queue []*trace.Job) *trace.Job {
 	now := st.Now()
 
-	reserve := func(p *cluster.Profile, skip *trace.Job) bool {
-		// head first, then the queued jobs in policy order
-		jobs := append([]*trace.Job{head}, queue...)
-		for _, j := range jobs {
-			if j == skip {
-				continue
-			}
-			dur := c.Est.Estimate(j)
-			start := p.FindStart(now, dur, j.Procs)
-			if err := p.Reserve(start, start+dur, j.Procs); err != nil {
-				return false
-			}
-		}
-		return true
+	// One feasibility-and-recording pass: each waiting job's reserved start
+	// under the current profile is the "no one gets later" yardstick.
+	if c.starts == nil {
+		c.starts = make(map[int]int64, len(queue)+1)
+	} else {
+		clear(c.starts)
 	}
-
-	baseline := c.profile(st, now)
-	if !reserve(baseline, nil) {
+	if !c.reserveAll(c.profile(st, now), now, head, queue, nil, c.starts, nil) {
 		return nil
 	}
-	starts := c.reservationStarts(st, now, head, queue)
 
 	for _, j := range queue {
 		if j.Procs > st.FreeProcs() {
@@ -82,24 +107,7 @@ func (c *Conservative) backfillOne(st State, head *trace.Job, queue []*trace.Job
 		if err := p.Reserve(now, now+dur, j.Procs); err != nil {
 			continue
 		}
-		ok := true
-		jobs := append([]*trace.Job{head}, queue...)
-		for _, o := range jobs {
-			if o == j {
-				continue
-			}
-			odur := c.Est.Estimate(o)
-			s := p.FindStart(now, odur, o.Procs)
-			if err := p.Reserve(s, s+odur, o.Procs); err != nil {
-				ok = false
-				break
-			}
-			if s > starts[o.ID] {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if c.reserveAll(p, now, head, queue, j, nil, c.starts) {
 			st.StartJob(j)
 			return j
 		}
@@ -107,31 +115,10 @@ func (c *Conservative) backfillOne(st State, head *trace.Job, queue []*trace.Job
 	return nil
 }
 
-// profile builds the availability profile implied by the running jobs'
-// estimated completions.
+// profile resets the scratch profile to the availability implied by the
+// running jobs' estimated completions. The returned profile is valid until
+// the next profile call.
 func (c *Conservative) profile(st State, now int64) *cluster.Profile {
-	p := cluster.NewProfile(st.TotalProcs(), now)
-	for _, r := range st.Running() {
-		end := r.Start + c.Est.Estimate(r.Job)
-		if end <= now {
-			end = now + 1 // overdue job: assume it releases imminently
-		}
-		// Running jobs always fit by construction.
-		_ = p.Reserve(now, end, r.Job.Procs)
-	}
-	return p
-}
-
-// reservationStarts computes each waiting job's reserved start under the
-// current profile, used as the "no one gets later" yardstick.
-func (c *Conservative) reservationStarts(st State, now int64, head *trace.Job, queue []*trace.Job) map[int]int64 {
-	p := c.profile(st, now)
-	starts := make(map[int]int64, len(queue)+1)
-	for _, j := range append([]*trace.Job{head}, queue...) {
-		dur := c.Est.Estimate(j)
-		s := p.FindStart(now, dur, j.Procs)
-		_ = p.Reserve(s, s+dur, j.Procs)
-		starts[j.ID] = s
-	}
-	return starts
+	fillProfileFromRunning(&c.prof, st, c.Est, now)
+	return &c.prof
 }

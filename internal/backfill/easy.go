@@ -30,6 +30,18 @@ type EASY struct {
 	Est Estimator
 	// Order controls candidate scan order (PolicyOrder by default).
 	Order CandidateOrder
+
+	// Reusable scratch: EASY runs on every blocked scheduling event, so the
+	// candidate decoration and reservation buffers are kept across calls.
+	res   ReservationScratch
+	cands []estimated
+}
+
+// estimated decorates a candidate with its runtime estimate, computed once
+// per backfill round rather than per comparison and again per scan.
+type estimated struct {
+	job *trace.Job
+	est int64
 }
 
 // NewEASY returns EASY backfilling with the given estimator and the classic
@@ -47,28 +59,33 @@ func (e *EASY) Name() string {
 
 // Backfill implements Backfiller.
 func (e *EASY) Backfill(st State, head *trace.Job, queue []*trace.Job) {
-	res := ComputeReservation(st, head, e.Est)
+	res := e.res.Compute(st, head, e.Est)
 	now := st.Now()
 	free := st.FreeProcs()
 	extra := res.Extra
 
-	cands := queue
+	if cap(e.cands) < len(queue) {
+		e.cands = make([]estimated, len(queue))
+	}
+	cands := e.cands[:len(queue)]
+	for i, j := range queue {
+		cands[i] = estimated{job: j, est: e.Est.Estimate(j)}
+	}
 	if e.Order == SJFOrder {
-		cands = append([]*trace.Job(nil), queue...)
 		sort.SliceStable(cands, func(a, b int) bool {
-			ea, eb := e.Est.Estimate(cands[a]), e.Est.Estimate(cands[b])
-			if ea != eb {
-				return ea < eb
+			if cands[a].est != cands[b].est {
+				return cands[a].est < cands[b].est
 			}
-			return cands[a].ID < cands[b].ID
+			return cands[a].job.ID < cands[b].job.ID
 		})
 	}
 
-	for _, j := range cands {
+	for _, c := range cands {
+		j := c.job
 		if j.Procs > free {
 			continue
 		}
-		endsByShadow := now+e.Est.Estimate(j) <= res.Shadow
+		endsByShadow := now+c.est <= res.Shadow
 		usesExtraOnly := j.Procs <= extra
 		if !endsByShadow && !usesExtraOnly {
 			continue

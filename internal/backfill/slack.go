@@ -17,6 +17,11 @@ type Slack struct {
 	// Factor scales each job's allowed delay (default 0.5 when zero-valued
 	// via NewSlack).
 	Factor float64
+
+	// Reusable scratch for the per-round profile and start maps.
+	prof       cluster.Profile
+	baseStarts map[int]int64
+	newStarts  map[int]int64
 }
 
 // NewSlack returns slack-based backfilling with the conventional 0.5 slack
@@ -45,29 +50,27 @@ func (s *Slack) Backfill(st State, head *trace.Job, queue []*trace.Job) {
 
 func (s *Slack) backfillOne(st State, head *trace.Job, queue []*trace.Job) *trace.Job {
 	now := st.Now()
-	baseStarts := s.reservationStarts(st, now, head, queue, nil)
+	s.baseStarts, _ = s.reservationStarts(s.baseStarts, st, now, head, queue, nil)
 
 	for _, cand := range queue {
 		if cand.Procs > st.FreeProcs() {
 			continue
 		}
-		newStarts := s.reservationStarts(st, now, head, queue, cand)
-		if newStarts == nil {
+		var feasible bool
+		s.newStarts, feasible = s.reservationStarts(s.newStarts, st, now, head, queue, cand)
+		if !feasible {
 			continue
 		}
-		ok := true
-		for _, o := range append([]*trace.Job{head}, queue...) {
-			if o == cand {
-				continue
-			}
-			allowed := baseStarts[o.ID]
-			if o != head {
-				// non-head jobs may slip by Factor x their estimate
-				allowed += int64(s.Factor * float64(s.Est.Estimate(o)))
-			}
-			if newStarts[o.ID] > allowed {
-				ok = false
-				break
+		ok := s.withinSlack(head, head)
+		if ok {
+			for _, o := range queue {
+				if o == cand {
+					continue
+				}
+				if !s.withinSlack(o, head) {
+					ok = false
+					break
+				}
 			}
 		}
 		if ok {
@@ -78,36 +81,49 @@ func (s *Slack) backfillOne(st State, head *trace.Job, queue []*trace.Job) *trac
 	return nil
 }
 
-// reservationStarts computes each job's planned start in submission of the
-// profile implied by the running jobs, optionally with `runNow` started
-// immediately. It returns nil if runNow cannot start now.
-func (s *Slack) reservationStarts(st State, now int64, head *trace.Job, queue []*trace.Job, runNow *trace.Job) map[int]int64 {
-	p := cluster.NewProfile(st.TotalProcs(), now)
-	for _, r := range st.Running() {
-		end := r.Start + s.Est.Estimate(r.Job)
-		if end <= now {
-			end = now + 1
-		}
-		_ = p.Reserve(now, end, r.Job.Procs)
+// withinSlack reports whether job o's new reserved start stays within its
+// allowed slip: non-head jobs may slip by Factor x their estimate, the head
+// not at all.
+func (s *Slack) withinSlack(o, head *trace.Job) bool {
+	allowed := s.baseStarts[o.ID]
+	if o != head {
+		allowed += int64(s.Factor * float64(s.Est.Estimate(o)))
 	}
+	return s.newStarts[o.ID] <= allowed
+}
+
+// reservationStarts fills dst with each job's planned start in the profile
+// implied by the running jobs, optionally with `runNow` started immediately.
+// It returns the (reused, possibly newly allocated) map, and false if
+// runNow cannot start now.
+func (s *Slack) reservationStarts(dst map[int]int64, st State, now int64, head *trace.Job, queue []*trace.Job, runNow *trace.Job) (map[int]int64, bool) {
+	fillProfileFromRunning(&s.prof, st, s.Est, now)
 	if runNow != nil {
 		dur := s.Est.Estimate(runNow)
-		if p.MinFree(now, now+dur) < runNow.Procs {
-			return nil
+		if s.prof.MinFree(now, now+dur) < runNow.Procs {
+			return dst, false
 		}
-		if err := p.Reserve(now, now+dur, runNow.Procs); err != nil {
-			return nil
+		if err := s.prof.Reserve(now, now+dur, runNow.Procs); err != nil {
+			return dst, false
 		}
 	}
-	starts := make(map[int]int64, len(queue)+1)
-	for _, j := range append([]*trace.Job{head}, queue...) {
+	if dst == nil {
+		dst = make(map[int]int64, len(queue)+1)
+	} else {
+		clear(dst)
+	}
+	place := func(j *trace.Job) {
 		if j == runNow {
-			continue
+			return
 		}
 		dur := s.Est.Estimate(j)
-		start := p.FindStart(now, dur, j.Procs)
-		_ = p.Reserve(start, start+dur, j.Procs)
-		starts[j.ID] = start
+		start := s.prof.FindStart(now, dur, j.Procs)
+		_ = s.prof.Reserve(start, start+dur, j.Procs)
+		dst[j.ID] = start
 	}
-	return starts
+	place(head)
+	for _, j := range queue {
+		place(j)
+	}
+	return dst, true
 }

@@ -28,6 +28,18 @@ func NewProfile(total int, from int64) *Profile {
 // Total returns the profile capacity.
 func (p *Profile) Total() int { return p.total }
 
+// Reset reinitialises the profile in place — all processors free from time
+// `from` onwards — reusing the segment storage. Reservation-based
+// backfillers rebuild a profile on every round; resetting one instead of
+// allocating keeps that loop garbage-free.
+func (p *Profile) Reset(total int, from int64) {
+	if total <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive profile capacity %d", total))
+	}
+	p.total = total
+	p.segs = append(p.segs[:0], segment{Time: from, Free: total})
+}
+
 // FreeAt returns the free processors at time t. Times before the profile
 // start report the first segment's value.
 func (p *Profile) FreeAt(t int64) int {
@@ -107,16 +119,15 @@ func (p *Profile) FindStart(after, duration int64, procs int) int64 {
 	if duration <= 0 {
 		duration = 1
 	}
-	// Candidate start times: `after` and every segment boundary after it.
-	candidates := []int64{after}
-	for _, s := range p.segs {
-		if s.Time > after {
-			candidates = append(candidates, s.Time)
-		}
+	// Candidate start times: `after` and every segment boundary after it
+	// (checked in place — this runs per reservation in the backfilling hot
+	// path, so no candidate slice is materialised).
+	if p.MinFree(after, after+duration) >= procs {
+		return after
 	}
-	for _, c := range candidates {
-		if p.MinFree(c, c+duration) >= procs {
-			return c
+	for _, s := range p.segs {
+		if s.Time > after && p.MinFree(s.Time, s.Time+duration) >= procs {
+			return s.Time
 		}
 	}
 	// The tail segment always has Free == total eventually only if nothing is

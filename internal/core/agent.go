@@ -33,6 +33,9 @@ type Agent struct {
 	pCache *nn.Cache
 	vCache *nn.Cache
 	scores []float64
+	// res is the reservation scratch: the agent recomputes the head job's
+	// reservation twice per decision, on the simulator's hottest path.
+	res backfill.ReservationScratch
 }
 
 type recorder struct {
@@ -107,7 +110,7 @@ func (a *Agent) Name() string { return "RLBF" }
 func (a *Agent) Backfill(st backfill.State, head *trace.Job, queue []*trace.Job) {
 	remaining := append([]*trace.Job(nil), queue...)
 	for {
-		res := backfill.ComputeReservation(st, head, a.Est)
+		res := a.res.Compute(st, head, a.Est)
 		obs := BuildObservation(a.Obs, st, head, remaining, a.Est, res)
 		if obs.Selectable == 0 {
 			return // nothing can start now; no decision to make
@@ -146,7 +149,7 @@ func (a *Agent) Backfill(st backfill.State, head *trace.Job, queue []*trace.Job)
 		st.StartJob(job)
 		// Violation check (§3.4): did this action delay the head job's
 		// estimated reservation?
-		after := backfill.ComputeReservation(st, head, a.Est)
+		after := a.res.Compute(st, head, a.Est)
 		if after.Shadow > res.Shadow {
 			if a.rec != nil {
 				a.rec.violations++

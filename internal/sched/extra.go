@@ -26,6 +26,9 @@ func (F2) Score(j *trace.Job, _ int64) float64 {
 	return math.Sqrt(rt)*float64(j.Procs) + 25600*math.Log10(st)
 }
 
+// TimeVarying implements Policy.
+func (F2) TimeVarying() bool { return false }
+
 // F3 is score(t) = r_t*n_t + 6860000*log10(s_t).
 type F3 struct{}
 
@@ -38,6 +41,9 @@ func (F3) Score(j *trace.Job, _ int64) float64 {
 	st := math.Max(float64(j.Submit), 1)
 	return rt*float64(j.Procs) + 6860000*math.Log10(st)
 }
+
+// TimeVarying implements Policy.
+func (F3) TimeVarying() bool { return false }
 
 // F4 is score(t) = r_t*sqrt(n_t) + 530000*log10(s_t).
 type F4 struct{}
@@ -52,6 +58,9 @@ func (F4) Score(j *trace.Job, _ int64) float64 {
 	return rt*math.Sqrt(float64(j.Procs)) + 530000*math.Log10(st)
 }
 
+// TimeVarying implements Policy.
+func (F4) TimeVarying() bool { return false }
+
 // SAF (smallest area first) prioritises jobs by requested runtime x
 // processors — the resource "area" the job will occupy.
 type SAF struct{}
@@ -63,6 +72,9 @@ func (SAF) Name() string { return "SAF" }
 func (SAF) Score(j *trace.Job, _ int64) float64 {
 	return float64(j.Request) * float64(j.Procs)
 }
+
+// TimeVarying implements Policy.
+func (SAF) TimeVarying() bool { return false }
 
 // Extended returns every implemented policy: Table 3's four plus the
 // F-family completions and SAF.

@@ -12,11 +12,17 @@ import (
 )
 
 // Policy orders the waiting queue. Lower Score runs first. Score may depend
-// on the current time (WFP3's waiting-time term), so the simulator re-sorts
-// at every scheduling event.
+// on the current time (WFP3's waiting-time term); TimeVarying tells the
+// simulator whether it does, so that static policies can keep an
+// incrementally maintained sorted queue instead of re-sorting at every
+// scheduling event.
 type Policy interface {
 	Name() string
 	Score(j *trace.Job, now int64) float64
+	// TimeVarying reports whether Score depends on the `now` argument. When
+	// false, Score(j, t1) == Score(j, t2) for all t1, t2, and schedulers may
+	// cache scores computed at any time.
+	TimeVarying() bool
 }
 
 // FCFS schedules jobs in submission order: score(t) = s_t.
@@ -28,6 +34,9 @@ func (FCFS) Name() string { return "FCFS" }
 // Score implements Policy.
 func (FCFS) Score(j *trace.Job, _ int64) float64 { return float64(j.Submit) }
 
+// TimeVarying implements Policy.
+func (FCFS) TimeVarying() bool { return false }
+
 // SJF runs the job with the shortest requested time first: score(t) = r_t.
 type SJF struct{}
 
@@ -36,6 +45,9 @@ func (SJF) Name() string { return "SJF" }
 
 // Score implements Policy.
 func (SJF) Score(j *trace.Job, _ int64) float64 { return float64(j.Request) }
+
+// TimeVarying implements Policy.
+func (SJF) TimeVarying() bool { return false }
 
 // WFP3 favours jobs with long waits, short requests and few processors
 // (Tang et al. 2009): score(t) = -(w_t/r_t)^3 * n_t.
@@ -55,6 +67,10 @@ func (WFP3) Score(j *trace.Job, now int64) float64 {
 	return -(ratio * ratio * ratio) * float64(j.Procs)
 }
 
+// TimeVarying implements Policy: the waiting-time term makes WFP3 scores
+// clock-dependent.
+func (WFP3) TimeVarying() bool { return true }
+
 // F1 is the best non-linear-regression policy from Carastan-Santos & de
 // Camargo (SC'17): score(t) = log10(r_t)*n_t + 870*log10(s_t).
 type F1 struct{}
@@ -68,6 +84,10 @@ func (F1) Score(j *trace.Job, _ int64) float64 {
 	st := math.Max(float64(j.Submit), 1) // log10 needs a positive argument
 	return math.Log10(rt)*float64(j.Procs) + 870*math.Log10(st)
 }
+
+// TimeVarying implements Policy: F1 depends on the submission time, not the
+// current time.
+func (F1) TimeVarying() bool { return false }
 
 // ByName returns the policy with the given (case-sensitive) Table 3 name.
 func ByName(name string) (Policy, error) {
@@ -87,17 +107,65 @@ func ByName(name string) (Policy, error) {
 // All returns every Table 3 policy in the paper's order.
 func All() []Policy { return []Policy{FCFS{}, SJF{}, WFP3{}, F1{}} }
 
-// Sort orders jobs in place by ascending policy score, breaking ties by
-// submission time then ID so that schedules are deterministic.
-func Sort(jobs []*trace.Job, p Policy, now int64) {
-	sort.SliceStable(jobs, func(a, b int) bool {
-		sa, sb := p.Score(jobs[a], now), p.Score(jobs[b], now)
-		if sa != sb {
-			return sa < sb
-		}
-		if jobs[a].Submit != jobs[b].Submit {
-			return jobs[a].Submit < jobs[b].Submit
-		}
-		return jobs[a].ID < jobs[b].ID
+// Less is the canonical queue order: ascending policy score (sa, sb are the
+// scores of a and b), breaking ties by submission time then ID so that
+// schedules are deterministic. Every queue in the simulator — whether
+// re-sorted per event or maintained incrementally — uses exactly this
+// comparison, which is what keeps kernel variants bit-identical.
+func Less(a, b *trace.Job, sa, sb float64) bool {
+	if sa != sb {
+		return sa < sb
+	}
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
+	}
+	return a.ID < b.ID
+}
+
+// scored decorates a job with its policy score so the score is computed
+// exactly once per sort instead of O(n log n) times inside the comparator.
+type scored struct {
+	job   *trace.Job
+	score float64
+}
+
+// Sorter sorts job queues with a reusable decoration buffer, avoiding the
+// per-event allocation and repeated Score calls of the naive comparator
+// sort. The zero value is ready to use; a Sorter is not goroutine-safe.
+type Sorter struct {
+	buf []scored
+}
+
+// Sort orders jobs in place by the canonical Less order, computing each
+// job's score exactly once. When scores is non-nil it must have
+// len(scores) == len(jobs) and receives the sorted jobs' scores (aligned
+// index-for-index with the sorted queue).
+func (s *Sorter) Sort(jobs []*trace.Job, scores []float64, p Policy, now int64) {
+	if scores != nil && len(scores) != len(jobs) {
+		panic("sched: scores length does not match jobs")
+	}
+	if cap(s.buf) < len(jobs) {
+		s.buf = make([]scored, len(jobs))
+	}
+	buf := s.buf[:len(jobs)]
+	for i, j := range jobs {
+		buf[i] = scored{job: j, score: p.Score(j, now)}
+	}
+	sort.SliceStable(buf, func(a, b int) bool {
+		return Less(buf[a].job, buf[b].job, buf[a].score, buf[b].score)
 	})
+	for i, e := range buf {
+		jobs[i] = e.job
+		if scores != nil {
+			scores[i] = e.score
+		}
+	}
+}
+
+// Sort orders jobs in place by ascending policy score, breaking ties by
+// submission time then ID so that schedules are deterministic. Hot paths
+// should hold a Sorter instead to reuse its scratch buffer across events.
+func Sort(jobs []*trace.Job, p Policy, now int64) {
+	var s Sorter
+	s.Sort(jobs, nil, p, now)
 }

@@ -94,6 +94,98 @@ func TestSortDeterministicTieBreak(t *testing.T) {
 	}
 }
 
+func TestTimeVaryingCapability(t *testing.T) {
+	for _, p := range Extended() {
+		want := p.Name() == "WFP3"
+		if got := p.TimeVarying(); got != want {
+			t.Fatalf("%s.TimeVarying() = %v, want %v", p.Name(), got, want)
+		}
+	}
+	// The capability must be truthful: a static policy's score cannot move
+	// with the clock, a time-varying one must (for a waiting job).
+	j := job(1, 100, 500, 4)
+	for _, p := range Extended() {
+		a, b := p.Score(j, 1000), p.Score(j, 5000)
+		if p.TimeVarying() && a == b {
+			t.Fatalf("%s claims time-varying but scores are clock-independent", p.Name())
+		}
+		if !p.TimeVarying() && a != b {
+			t.Fatalf("%s claims static but Score(1000)=%v != Score(5000)=%v", p.Name(), a, b)
+		}
+	}
+}
+
+// The decorated Sorter must order exactly like the naive comparator sort and
+// report scores aligned with the sorted queue.
+func TestSorterMatchesNaiveSort(t *testing.T) {
+	rng := stats.NewRNG(23)
+	for _, p := range Extended() {
+		for round := 0; round < 20; round++ {
+			n := rng.Intn(40) + 2
+			a := make([]*trace.Job, n)
+			for i := range a {
+				a[i] = job(i+1, rng.Int63n(1000), rng.Int63n(5000)+1, rng.Intn(64)+1)
+			}
+			b := append([]*trace.Job(nil), a...)
+			now := int64(10000)
+			Sort(a, p, now)
+
+			var s Sorter
+			scores := make([]float64, n)
+			s.Sort(b, scores, p, now)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: Sorter order diverges from Sort at %d", p.Name(), i)
+				}
+				if scores[i] != p.Score(b[i], now) {
+					t.Fatalf("%s: score %d misaligned: %v vs %v", p.Name(), i, scores[i], p.Score(b[i], now))
+				}
+			}
+		}
+	}
+}
+
+func TestSorterScratchReuseAcrossSizes(t *testing.T) {
+	var s Sorter
+	for _, n := range []int{17, 3, 29, 1, 0, 8} {
+		jobs := make([]*trace.Job, n)
+		for i := range jobs {
+			jobs[i] = job(i+1, int64(100-i), int64(i*7+1), 1)
+		}
+		scores := make([]float64, n)
+		s.Sort(jobs, scores, FCFS{}, 0)
+		for i := 1; i < n; i++ {
+			if scores[i-1] > scores[i] {
+				t.Fatalf("n=%d: scores not sorted after scratch reuse", n)
+			}
+		}
+	}
+}
+
+func TestSorterRejectsMisalignedScores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched scores slice accepted")
+		}
+	}()
+	var s Sorter
+	s.Sort([]*trace.Job{job(1, 0, 1, 1)}, make([]float64, 2), FCFS{}, 0)
+}
+
+func TestLessTotalOrderTieBreaks(t *testing.T) {
+	a, b := job(1, 10, 100, 1), job(2, 10, 100, 1)
+	if !Less(a, b, 5, 5) || Less(b, a, 5, 5) {
+		t.Fatal("ID tie-break broken")
+	}
+	c := job(3, 5, 100, 1)
+	if !Less(c, a, 5, 5) {
+		t.Fatal("submit tie-break broken")
+	}
+	if !Less(b, c, 4, 5) {
+		t.Fatal("score must dominate tie-breaks")
+	}
+}
+
 // Property: Sort produces a non-decreasing score sequence for every policy.
 func TestSortMonotoneScores(t *testing.T) {
 	rng := stats.NewRNG(17)

@@ -2,6 +2,18 @@
 // "Simulated Environment", §3.4): it replays a job trace against a
 // homogeneous cluster under a base scheduling policy, invoking a pluggable
 // backfiller whenever the head of the queue cannot start.
+//
+// The simulator is the inner loop of every PPO rollout, so the per-event
+// scheduling kernel is engineered for throughput: static-score policies
+// (Policy.TimeVarying() == false) keep the waiting queue incrementally
+// sorted — each arrival is binary-inserted once and the queue is never
+// re-sorted — while time-varying policies (WFP3) fall back to a decorated
+// re-sort that computes each score exactly once per event. Queue removal
+// locates jobs by binary search on their score instead of a linear scan, and
+// the running set is maintained as an ID-sorted slice so backfillers'
+// reservation computations never trigger a rebuild-and-sort. All orderings
+// use sched.Less (score, then submit time, then ID), which keeps schedules
+// bit-identical to a naive sort-every-event kernel.
 package sim
 
 import (
@@ -43,8 +55,18 @@ type Engine struct {
 	clock   int64
 	cluster *cluster.Cluster
 	events  eventq.Queue
-	queue   []*trace.Job
-	running map[int]backfill.Running
+	// queue holds the waiting jobs; qscore[i] is queue[i]'s policy score.
+	// For static policies both stay sorted (sched.Less) at all times; for
+	// time-varying policies they are re-sorted at the top of every
+	// scheduling round, so they are ordered whenever StartJob can run.
+	queue  []*trace.Job
+	qscore []float64
+	static bool
+	sorter sched.Sorter
+	// running is kept sorted by job ID (insert on start, remove on finish),
+	// so State.Running needs no per-call rebuild.
+	running []backfill.Running
+	restBuf []*trace.Job // scratch: the backfiller's view of queue[1:]
 	records []metrics.Record
 }
 
@@ -61,7 +83,7 @@ func NewEngine(t *trace.Trace, cfg Config) (*Engine, error) {
 		cfg:     cfg,
 		procs:   t.Procs,
 		cluster: cluster.New(t.Procs),
-		running: make(map[int]backfill.Running),
+		static:  !cfg.Policy.TimeVarying(),
 		records: make([]metrics.Record, 0, len(t.Jobs)),
 	}
 	for _, j := range t.Jobs {
@@ -83,41 +105,71 @@ func Run(t *trace.Trace, cfg Config) (*Result, error) {
 
 // RunToCompletion processes every event until all jobs have finished.
 func (e *Engine) RunToCompletion() {
-	for {
-		ev, ok := e.events.Pop()
-		if !ok {
-			return
-		}
-		e.clock = ev.Time
-		e.apply(ev)
-		// Drain all events with the same timestamp before scheduling, so a
-		// single decision sees every completion/arrival at this instant.
-		for {
-			next, ok := e.events.Peek()
-			if !ok || next.Time != e.clock {
-				break
-			}
-			ev, _ = e.events.Pop()
-			e.apply(ev)
-		}
-		e.schedule()
-		if e.cfg.Probe != nil {
-			e.cfg.Probe.Observe(e.clock, len(e.queue), e.cluster.Free(), e.procs)
-		}
+	for e.Step() {
 	}
+}
+
+// Step advances the simulation by one event batch: it drains every event at
+// the earliest pending timestamp (so a single scheduling decision sees all
+// completions and arrivals at that instant), runs one scheduling round, and
+// notifies the probe. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	ev, ok := e.events.Pop()
+	if !ok {
+		return false
+	}
+	e.clock = ev.Time
+	e.apply(ev)
+	for {
+		next, ok := e.events.Peek()
+		if !ok || next.Time != e.clock {
+			break
+		}
+		ev, _ = e.events.Pop()
+		e.apply(ev)
+	}
+	e.schedule()
+	if e.cfg.Probe != nil {
+		e.cfg.Probe.Observe(e.clock, len(e.queue), e.cluster.Free(), e.procs)
+	}
+	return true
 }
 
 func (e *Engine) apply(ev eventq.Event) {
 	switch ev.Kind {
 	case eventq.Arrive:
-		e.queue = append(e.queue, ev.Payload.(*trace.Job))
+		e.enqueue(ev.Payload.(*trace.Job))
 	case eventq.Finish:
 		j := ev.Payload.(*trace.Job)
 		if err := e.cluster.Release(j.ID); err != nil {
 			panic(fmt.Sprintf("sim: releasing job %d: %v", j.ID, err))
 		}
-		delete(e.running, j.ID)
+		if i := e.runningIndex(j.ID); i < len(e.running) && e.running[i].Job.ID == j.ID {
+			e.running = append(e.running[:i], e.running[i+1:]...)
+		}
 	}
+}
+
+// enqueue adds an arriving job to the waiting queue. Static policies
+// binary-insert at the job's final position (scores never change, so the
+// queue stays sorted forever); time-varying policies just append and let
+// schedule re-sort.
+func (e *Engine) enqueue(j *trace.Job) {
+	if !e.static {
+		e.queue = append(e.queue, j)
+		e.qscore = append(e.qscore, 0)
+		return
+	}
+	score := e.cfg.Policy.Score(j, e.clock)
+	i := sort.Search(len(e.queue), func(i int) bool {
+		return sched.Less(j, e.queue[i], score, e.qscore[i])
+	})
+	e.queue = append(e.queue, nil)
+	copy(e.queue[i+1:], e.queue[i:])
+	e.queue[i] = j
+	e.qscore = append(e.qscore, 0)
+	copy(e.qscore[i+1:], e.qscore[i:])
+	e.qscore[i] = score
 }
 
 // schedule starts queue-head jobs while they fit, then gives the backfiller
@@ -126,7 +178,11 @@ func (e *Engine) schedule() {
 	if len(e.queue) == 0 {
 		return
 	}
-	sched.Sort(e.queue, e.cfg.Policy, e.clock)
+	if !e.static {
+		// Time-varying scores: one decorated sort per event, each score
+		// computed exactly once.
+		e.sorter.Sort(e.queue, e.qscore, e.cfg.Policy, e.clock)
+	}
 	for len(e.queue) > 0 && e.cluster.Fits(e.queue[0].Procs) {
 		e.StartJob(e.queue[0])
 	}
@@ -134,8 +190,8 @@ func (e *Engine) schedule() {
 		return
 	}
 	head := e.queue[0]
-	rest := append([]*trace.Job(nil), e.queue[1:]...)
-	e.cfg.Backfiller.Backfill(e, head, rest)
+	e.restBuf = append(e.restBuf[:0], e.queue[1:]...)
+	e.cfg.Backfiller.Backfill(e, head, e.restBuf)
 }
 
 // Now implements backfill.State.
@@ -147,15 +203,39 @@ func (e *Engine) FreeProcs() int { return e.cluster.Free() }
 // TotalProcs implements backfill.State.
 func (e *Engine) TotalProcs() int { return e.procs }
 
-// Running implements backfill.State; the slice is sorted by job ID for
-// determinism.
-func (e *Engine) Running() []backfill.Running {
-	rs := make([]backfill.Running, 0, len(e.running))
-	for _, r := range e.running {
-		rs = append(rs, r)
+// Running implements backfill.State; the slice is sorted by job ID. It is
+// the engine's live bookkeeping (maintained incrementally, never rebuilt):
+// callers must treat it as read-only and must not retain it across StartJob
+// calls or simulation steps.
+func (e *Engine) Running() []backfill.Running { return e.running }
+
+// runningIndex returns the position of job id in the ID-sorted running
+// slice, or the insertion point if absent.
+func (e *Engine) runningIndex(id int) int {
+	return sort.Search(len(e.running), func(i int) bool { return e.running[i].Job.ID >= id })
+}
+
+// queueIndex locates a waiting job. The queue is sorted whenever starts can
+// happen, so a binary search on the job's score finds it in O(log n); a
+// linear scan remains as a defensive fallback (it cannot be wrong, only
+// slower).
+func (e *Engine) queueIndex(j *trace.Job) int {
+	if len(e.queue) > 0 && e.queue[0] == j {
+		return 0 // the common case: starting the head
 	}
-	sort.Slice(rs, func(a, b int) bool { return rs[a].Job.ID < rs[b].Job.ID })
-	return rs
+	score := e.cfg.Policy.Score(j, e.clock)
+	i := sort.Search(len(e.queue), func(i int) bool {
+		return !sched.Less(e.queue[i], j, e.qscore[i], score)
+	})
+	if i < len(e.queue) && e.queue[i] == j {
+		return i
+	}
+	for k, q := range e.queue {
+		if q == j {
+			return k
+		}
+	}
+	return -1
 }
 
 // StartJob implements backfill.State: it allocates processors, removes the
@@ -167,22 +247,20 @@ func (e *Engine) StartJob(j *trace.Job) {
 	if err := e.cluster.Alloc(j.ID, j.Procs); err != nil {
 		panic(fmt.Sprintf("sim: starting job %d: %v", j.ID, err))
 	}
-	removed := false
-	for i, q := range e.queue {
-		if q == j {
-			e.queue = append(e.queue[:i], e.queue[i+1:]...)
-			removed = true
-			break
-		}
-	}
-	if !removed {
+	i := e.queueIndex(j)
+	if i < 0 {
 		panic(fmt.Sprintf("sim: job %d started but not in queue", j.ID))
 	}
+	e.queue = append(e.queue[:i], e.queue[i+1:]...)
+	e.qscore = append(e.qscore[:i], e.qscore[i+1:]...)
 	run := j.Runtime
 	if j.Request > 0 && run > j.Request {
 		run = j.Request // killed at the wall-time limit
 	}
-	e.running[j.ID] = backfill.Running{Job: j, Start: e.clock}
+	ri := e.runningIndex(j.ID)
+	e.running = append(e.running, backfill.Running{})
+	copy(e.running[ri+1:], e.running[ri:])
+	e.running[ri] = backfill.Running{Job: j, Start: e.clock}
 	e.events.Push(eventq.Event{Time: e.clock + run, Kind: eventq.Finish, Payload: j})
 	e.records = append(e.records, metrics.Record{Job: j, Start: e.clock, End: e.clock + run})
 }

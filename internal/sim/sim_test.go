@@ -346,6 +346,51 @@ func TestScheduleInvariantsQuick(t *testing.T) {
 	}
 }
 
+// Step must be an exact decomposition of RunToCompletion.
+func TestStepwiseMatchesRunToCompletion(t *testing.T) {
+	tr := trace.SyntheticSDSCSP2(200, 3)
+	whole := mustRun(t, tr.Clone(), Config{Policy: sched.SJF{}, Backfiller: backfill.NewEASY(backfill.RequestTime{})})
+
+	e, err := NewEngine(tr.Clone(), Config{Policy: sched.SJF{}, Backfiller: backfill.NewEASY(backfill.RequestTime{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for e.Step() {
+		steps++
+	}
+	if steps == 0 {
+		t.Fatal("Step never advanced")
+	}
+	if len(e.Records()) != len(whole.Records) {
+		t.Fatalf("stepwise records %d vs %d", len(e.Records()), len(whole.Records))
+	}
+	for i, w := range whole.Records {
+		g := e.Records()[i]
+		if g.Job.ID != w.Job.ID || g.Start != w.Start || g.End != w.End {
+			t.Fatalf("record %d differs between stepwise and whole-run replay", i)
+		}
+	}
+}
+
+// Running must stay ID-sorted at every instant of the simulation (it is the
+// engine's live, incrementally maintained bookkeeping).
+func TestRunningStaysSortedByID(t *testing.T) {
+	tr := trace.SyntheticHPC2N(250, 17)
+	e, err := NewEngine(tr, Config{Policy: sched.FCFS{}, Backfiller: backfill.NewEASY(backfill.RequestTime{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e.Step() {
+		rs := e.Running()
+		for i := 1; i < len(rs); i++ {
+			if rs[i-1].Job.ID >= rs[i].Job.ID {
+				t.Fatalf("running set not ID-sorted at t=%d", e.Now())
+			}
+		}
+	}
+}
+
 func TestNoisyEstimatorIsConsistentPerJob(t *testing.T) {
 	est := backfill.Noisy{Level: 0.4, Seed: 7}
 	j := job(42, 0, 1000, 2000, 4)

@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestFigure1TinySmoke exercises the benchmark harness code path in the
+// tier-1 test run: one Figure 1 regeneration at tiny scale (the same entry
+// point BenchmarkFigure1 drives). It keeps `go test ./...` covering the root
+// package instead of reporting "no tests to run".
+func TestFigure1TinySmoke(t *testing.T) {
+	sc, ok := experiments.ByName("tiny")
+	if !ok {
+		t.Fatal("tiny scale missing")
+	}
+	tbl, err := experiments.Figure1(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatalf("unexpected table title:\n%s", out)
+	}
+	// One row per Table 3 policy, each with a bsld value per estimator.
+	for _, policy := range []string{"FCFS", "SJF", "WFP3", "F1"} {
+		if !strings.Contains(out, policy) {
+			t.Fatalf("Figure 1 output missing %s row:\n%s", policy, out)
+		}
+	}
+}
+
+// TestBenchScaleSelection pins the RLBF_BENCH_SCALE contract the benchmarks
+// rely on: tiny is the default, and every documented scale resolves.
+func TestBenchScaleSelection(t *testing.T) {
+	for _, name := range []string{"tiny", "quick", "paper"} {
+		sc, ok := experiments.ByName(name)
+		if !ok {
+			t.Fatalf("scale %q not resolvable", name)
+		}
+		if sc.Name != name {
+			t.Fatalf("scale %q resolves to %q", name, sc.Name)
+		}
+	}
+	if _, ok := experiments.ByName("bogus"); ok {
+		t.Fatal("unknown scale accepted")
+	}
+}
