@@ -9,6 +9,7 @@ package repro
 import (
 	"io"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/backfill"
@@ -41,7 +42,7 @@ func benchScale(b *testing.B) experiments.Scale {
 func BenchmarkFigure1(b *testing.B) {
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.Figure1(sc)
+		tbl, err := experiments.Figure1(sc, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +69,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkFigure4(b *testing.B) {
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.Figure4(sc, experiments.NewZoo(), io.Discard)
+		tbl, err := experiments.Figure4(sc, experiments.NewZoo(), nil, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkTable4(b *testing.B) {
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.Table4(sc, experiments.NewZoo(), io.Discard)
+		tbl, err := experiments.Table4(sc, experiments.NewZoo(), nil, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -97,7 +98,7 @@ func BenchmarkTable4(b *testing.B) {
 func BenchmarkTable5(b *testing.B) {
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.Table5(sc, experiments.NewZoo(), io.Discard)
+		tbl, err := experiments.Table5(sc, experiments.NewZoo(), nil, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func BenchmarkTable5(b *testing.B) {
 func BenchmarkAblationSkip(b *testing.B) {
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.AblationSkip(sc, io.Discard)
+		tbl, err := experiments.AblationSkip(sc, nil, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func BenchmarkAblationSkip(b *testing.B) {
 func BenchmarkAblationPenalty(b *testing.B) {
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.AblationPenalty(sc, io.Discard)
+		tbl, err := experiments.AblationPenalty(sc, nil, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func BenchmarkAblationPenalty(b *testing.B) {
 func BenchmarkAblationObs(b *testing.B) {
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.AblationObs(sc, io.Discard)
+		tbl, err := experiments.AblationObs(sc, nil, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +155,7 @@ func BenchmarkAblationObs(b *testing.B) {
 func BenchmarkConservative(b *testing.B) {
 	sc := benchScale(b)
 	for i := 0; i < b.N; i++ {
-		tbl, err := experiments.ConservativeCompare(sc, io.Discard)
+		tbl, err := experiments.ConservativeCompare(sc, nil, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,6 +163,30 @@ func BenchmarkConservative(b *testing.B) {
 			b.Log("\n" + tbl.String())
 		}
 	}
+}
+
+// BenchmarkRunManyTiny measures the experiments layer end to end: the full
+// `rlbf-exp -exp all` set at tiny scale, sequentially (Workers=1) vs fanned
+// across the shared worker pool (Workers=GOMAXPROCS). The pooled/seq ratio
+// is the cell runner's wall-clock win; outputs are byte-identical either way
+// (TestRunManyDeterministicAcrossWorkers).
+func BenchmarkRunManyTiny(b *testing.B) {
+	sc, ok := experiments.ByName("tiny")
+	if !ok {
+		b.Fatal("tiny scale missing")
+	}
+	run := func(b *testing.B, workers int) {
+		b.Helper()
+		sc := sc
+		sc.Workers = workers
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.RunMany([]string{"all"}, sc, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("seq", func(b *testing.B) { run(b, 1) })
+	b.Run("pooled", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
 }
 
 // ---- micro-benchmarks for the substrates ----

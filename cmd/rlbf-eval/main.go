@@ -27,6 +27,7 @@ func main() {
 	seqs := flag.Int("seqs", 10, "number of sampled job sequences")
 	seqLen := flag.Int("seqlen", 1024, "jobs per sequence")
 	seed := flag.Uint64("seed", 2023, "sampling seed")
+	workers := flag.Int("workers", 0, "concurrent sequence replays (0 or 1 = sequential)")
 	flag.Parse()
 
 	policy, err := sched.ByName(*policyArg)
@@ -37,7 +38,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	evalCfg := core.EvalConfig{Sequences: *seqs, SeqLen: *seqLen, Seed: *seed}
+	evalCfg := core.EvalConfig{Sequences: *seqs, SeqLen: *seqLen, Seed: *seed, Workers: *workers}
 	est := experiments.Estimator(tr)
 
 	fmt.Printf("workload %s (%d jobs, %d procs), base policy %s, %d x %d-job sequences (seed %d)\n",

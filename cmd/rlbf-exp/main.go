@@ -30,6 +30,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "override the per-trace job count")
 	epochs := flag.Int("epochs", 0, "override the training epoch count")
 	traj := flag.Int("traj", 0, "override the trajectories per training epoch")
+	workers := flag.Int("workers", 0, "worker-pool size for parallel experiment cells (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -52,6 +53,9 @@ func main() {
 	}
 	if *traj > 0 {
 		sc.TrajPerEpoch = *traj
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
 	}
 
 	var log io.Writer = os.Stderr

@@ -47,6 +47,18 @@ type Backfiller interface {
 	Backfill(st State, head *trace.Job, queue []*trace.Job)
 }
 
+// Cloneable is implemented by backfillers that can hand out independent
+// instances of themselves. Backfillers carry per-replay scratch state by
+// design (see DESIGN.md §6), so a single instance must never be shared
+// between concurrent simulations; parallel evaluation (core.EvalConfig
+// Workers > 1) calls Fresh once per worker instead.
+type Cloneable interface {
+	Backfiller
+	// Fresh returns a new backfiller with the same configuration and
+	// untouched scratch state.
+	Fresh() Backfiller
+}
+
 // Reservation is the head job's earliest-start guarantee under a given
 // estimator: the shadow time at which enough processors free up, and the
 // processors left over ("extra") at that moment.

@@ -23,6 +23,10 @@ type Conservative struct {
 // NewConservative returns conservative backfilling with the given estimator.
 func NewConservative(est Estimator) *Conservative { return &Conservative{Est: est} }
 
+// Fresh implements Cloneable: same estimator, own profile and start-map
+// scratch.
+func (c *Conservative) Fresh() Backfiller { return &Conservative{Est: c.Est} }
+
 // Name implements Backfiller.
 func (c *Conservative) Name() string { return "CONS-" + c.Est.Name() }
 

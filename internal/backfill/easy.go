@@ -48,6 +48,9 @@ type estimated struct {
 // policy-order candidate scan.
 func NewEASY(est Estimator) *EASY { return &EASY{Est: est} }
 
+// Fresh implements Cloneable: same estimator and scan order, own scratch.
+func (e *EASY) Fresh() Backfiller { return &EASY{Est: e.Est, Order: e.Order} }
+
 // Name implements Backfiller.
 func (e *EASY) Name() string {
 	n := "EASY-" + e.Est.Name()

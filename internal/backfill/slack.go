@@ -28,6 +28,9 @@ type Slack struct {
 // factor.
 func NewSlack(est Estimator) *Slack { return &Slack{Est: est, Factor: 0.5} }
 
+// Fresh implements Cloneable: same estimator and slack factor, own scratch.
+func (s *Slack) Fresh() Backfiller { return &Slack{Est: s.Est, Factor: s.Factor} }
+
 // Name implements Backfiller.
 func (s *Slack) Name() string { return "SLACK-" + s.Est.Name() }
 

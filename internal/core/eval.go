@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/backfill"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -17,10 +20,24 @@ type EvalConfig struct {
 	Sequences int
 	SeqLen    int
 	Seed      uint64
+	// Workers replays the sequences concurrently (0 or 1 = sequential).
+	// Sequence sampling is derived from Seed alone and results are collected
+	// by sequence index, so the outcome is identical at any worker count.
+	Workers int
 }
 
 // DefaultEvalConfig returns the paper's evaluation protocol.
 func DefaultEvalConfig() EvalConfig { return EvalConfig{Sequences: 10, SeqLen: 1024, Seed: 2023} }
+
+func (c EvalConfig) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	if c.Workers > c.Sequences {
+		return c.Sequences
+	}
+	return c.Workers
+}
 
 // sequenceStarts derives the sequence sample offsets from the seed, so every
 // strategy evaluated with the same config sees the exact same job sequences.
@@ -35,36 +52,75 @@ func sequenceStarts(t *trace.Trace, cfg EvalConfig) []int {
 	return starts
 }
 
-// EvaluateStrategy measures a base policy plus heuristic backfiller
-// (nil = no backfilling) under the paper's protocol, returning the mean and
-// per-sequence bounded slowdowns.
-func EvaluateStrategy(t *trace.Trace, base sched.Policy, bf backfill.Backfiller, cfg EvalConfig) (float64, []float64, error) {
-	per := make([]float64, 0, cfg.Sequences)
-	for _, start := range sequenceStarts(t, cfg) {
-		seq := trace.Slice(t, start, cfg.SeqLen)
-		res, err := sim.Run(seq, sim.Config{Policy: base, Backfiller: bf})
+// runSequences replays every sampled sequence, fanning across cfg.Workers
+// goroutines. mkBF yields the backfiller for one worker: backfillers carry
+// scratch state, so each concurrent replay needs its own instance. Results
+// are written by sequence index — never by completion order — so the output
+// is bit-identical at any worker count.
+func runSequences(t *trace.Trace, base sched.Policy, cfg EvalConfig,
+	mkBF func() backfill.Backfiller) (float64, []float64, error) {
+	starts := sequenceStarts(t, cfg)
+	per := make([]float64, len(starts))
+	errs := make([]error, len(starts))
+
+	w := cfg.workers()
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	sem := make(chan struct{}, w)
+	for i, start := range starts {
+		if failed.Load() {
+			break // fail-fast: the result is already lost
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, start int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seq := trace.Slice(t, start, cfg.SeqLen)
+			res, err := sim.Run(seq, sim.Config{Policy: base, Backfiller: mkBF()})
+			if err != nil {
+				errs[i] = err
+				failed.Store(true)
+				return
+			}
+			per[i] = res.Summary.MeanBSLD
+		}(i, start)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return 0, nil, err
 		}
-		per = append(per, res.Summary.MeanBSLD)
 	}
 	return stats.Mean(per), per, nil
 }
 
-// EvaluateAgent measures a trained agent (greedy action selection, §3.3.1)
-// under the same protocol. The agent may have been trained on a different
-// trace — that is exactly the paper's generality experiment (Table 5).
-func EvaluateAgent(a *Agent, t *trace.Trace, base sched.Policy, cfg EvalConfig) (float64, []float64, error) {
-	greedy := &Agent{Policy: a.Policy, Value: a.Value, Obs: a.Obs, Est: a.Est}
-	greedy.initBuffers()
-	per := make([]float64, 0, cfg.Sequences)
-	for _, start := range sequenceStarts(t, cfg) {
-		seq := trace.Slice(t, start, cfg.SeqLen)
-		res, err := sim.Run(seq, sim.Config{Policy: base, Backfiller: greedy})
-		if err != nil {
-			return 0, nil, err
+// EvaluateStrategy measures a base policy plus heuristic backfiller
+// (nil = no backfilling) under the paper's protocol, returning the mean and
+// per-sequence bounded slowdowns. With cfg.Workers > 1 the sequences replay
+// concurrently when the backfiller is nil or backfill.Cloneable; a stateful
+// backfiller that cannot be cloned falls back to a sequential run.
+func EvaluateStrategy(t *trace.Trace, base sched.Policy, bf backfill.Backfiller, cfg EvalConfig) (float64, []float64, error) {
+	mkBF := func() backfill.Backfiller { return bf }
+	if bf != nil {
+		if c, ok := bf.(backfill.Cloneable); ok {
+			mkBF = func() backfill.Backfiller { return c.Fresh() }
+		} else {
+			cfg.Workers = 1 // cannot share scratch state between replays
 		}
-		per = append(per, res.Summary.MeanBSLD)
 	}
-	return stats.Mean(per), per, nil
+	return runSequences(t, base, cfg, mkBF)
+}
+
+// EvaluateAgent measures a trained agent (greedy action selection, §3.3.1)
+// under the same protocol; each concurrent replay gets a greedy clone
+// sharing the read-only networks. The agent may have been trained on a
+// different trace — that is exactly the paper's generality experiment
+// (Table 5).
+func EvaluateAgent(a *Agent, t *trace.Trace, base sched.Policy, cfg EvalConfig) (float64, []float64, error) {
+	return runSequences(t, base, cfg, func() backfill.Backfiller {
+		greedy := &Agent{Policy: a.Policy, Value: a.Value, Obs: a.Obs, Est: a.Est}
+		greedy.initBuffers()
+		return greedy
+	})
 }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Parallel evaluation must be invisible in the results: per-sequence bslds
+// and the mean are bit-identical at any worker count, because sequence
+// sampling depends only on the seed and results land by sequence index.
+func TestEvaluateStrategyParallelMatchesSequential(t *testing.T) {
+	tr := trace.SyntheticSDSCSP2(1500, 11)
+	base := EvalConfig{Sequences: 4, SeqLen: 120, Seed: 42}
+	seqMean, seqPer, err := EvaluateStrategy(tr, sched.FCFS{}, backfill.NewEASY(backfill.RequestTime{}), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		cfg := base
+		cfg.Workers = w
+		mean, per, err := EvaluateStrategy(tr, sched.FCFS{}, backfill.NewEASY(backfill.RequestTime{}), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean != seqMean {
+			t.Fatalf("Workers=%d mean %v, sequential %v", w, mean, seqMean)
+		}
+		for i := range per {
+			if per[i] != seqPer[i] {
+				t.Fatalf("Workers=%d sequence %d: %v vs %v", w, i, per[i], seqPer[i])
+			}
+		}
+	}
+}
+
+func TestEvaluateAgentParallelMatchesSequential(t *testing.T) {
+	tr := trace.SyntheticSDSCSP2(1500, 12)
+	a := NewAgent(ObsConfig{MaxObs: 16}, NetworkSpec{}, backfill.RequestTime{}, 5)
+	base := EvalConfig{Sequences: 4, SeqLen: 120, Seed: 42}
+	_, seqPer, err := EvaluateAgent(a, tr, sched.SJF{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Workers = 4
+	_, per, err := EvaluateAgent(a, tr, sched.SJF{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range per {
+		if per[i] != seqPer[i] {
+			t.Fatalf("sequence %d: parallel %v vs sequential %v", i, per[i], seqPer[i])
+		}
+	}
+}
+
+// opaqueBackfiller hides EASY behind a type without Fresh, so evaluation
+// cannot clone it and must fall back to a sequential replay.
+type opaqueBackfiller struct{ inner backfill.Backfiller }
+
+func (o *opaqueBackfiller) Name() string { return o.inner.Name() }
+func (o *opaqueBackfiller) Backfill(st backfill.State, head *trace.Job, queue []*trace.Job) {
+	o.inner.Backfill(st, head, queue)
+}
+
+func TestEvaluateStrategyNonCloneableFallsBack(t *testing.T) {
+	tr := trace.SyntheticSDSCSP2(1500, 13)
+	cfg := EvalConfig{Sequences: 3, SeqLen: 120, Seed: 7, Workers: 8}
+	_, wantPer, err := EvaluateStrategy(tr, sched.FCFS{}, backfill.NewEASY(backfill.RequestTime{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotPer, err := EvaluateStrategy(tr, sched.FCFS{},
+		&opaqueBackfiller{inner: backfill.NewEASY(backfill.RequestTime{})}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantPer {
+		if gotPer[i] != wantPer[i] {
+			t.Fatalf("sequence %d: opaque %v vs cloneable %v", i, gotPer[i], wantPer[i])
+		}
+	}
+}

@@ -1,5 +1,9 @@
 // Package eventq provides the binary-heap event queue used by the
-// discrete-event scheduling simulator.
+// discrete-event scheduling simulator. The optimised engine feeds arrivals
+// lazily from the submit-sorted trace and queues only Finish events here
+// (see internal/sim); the Arrive kind and the Finish-before-Arrive ordering
+// contract are retained for the reference kernel the differential test pins
+// the engine against, and for callers that do queue both kinds.
 package eventq
 
 // Kind distinguishes the event types of the scheduling simulator.

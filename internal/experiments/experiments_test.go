@@ -82,7 +82,7 @@ func TestEstimatorForSyntheticUsesAR(t *testing.T) {
 func TestFigure1Shape(t *testing.T) {
 	sc := TinyScale()
 	sc.TraceJobs = 400
-	tbl, err := Figure1(sc)
+	tbl, err := Figure1(sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestTable2Generated(t *testing.T) {
 func TestConservativeCompare(t *testing.T) {
 	sc := TinyScale()
 	sc.TraceJobs = 200
-	tbl, err := ConservativeCompare(sc, nil)
+	tbl, err := ConservativeCompare(sc, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestTable4Tiny(t *testing.T) {
 	sc.TraceJobs = 300
 	sc.Eval = evalCfg(2, 100)
 	zoo := NewZoo()
-	tbl, err := Table4(sc, zoo, io.Discard)
+	tbl, err := Table4(sc, zoo, nil, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestTable4Tiny(t *testing.T) {
 func TestLoadSweep(t *testing.T) {
 	sc := TinyScale()
 	sc.TraceJobs = 300
-	tbl, err := LoadSweep(sc, nil)
+	tbl, err := LoadSweep(sc, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

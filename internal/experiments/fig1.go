@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/backfill"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -14,12 +15,22 @@ import (
 // under EASY backfilling driven by runtime predictions of varying accuracy —
 // the actual runtime (perfect prediction), actual +5/10/20/40/100 % noise,
 // and the raw user request time — and report the average bounded slowdown.
+// Every (policy, estimator) point is an independent cell on the worker pool
+// (pass nil for a private pool); the grid assembles by index.
 //
 // Expected shape (paper): better prediction accuracy does NOT monotonically
 // improve bsld; only SJF is best with the perfect prediction.
-func Figure1(sc Scale) (*Table, error) {
+func Figure1(sc Scale, p *pool.Pool) (*Table, error) {
+	p = sc.cellPool(p)
 	tr := trace.SyntheticSDSCSP2(sc.TraceJobs, sc.Seed+1)
-	levels := []float64{0, 0.05, 0.10, 0.20, 0.40, 1.00}
+
+	// One estimator per column: AR, the noise levels, then RT.
+	ests := []backfill.Estimator{backfill.ActualRuntime{}}
+	for _, lvl := range []float64{0.05, 0.10, 0.20, 0.40, 1.00} {
+		ests = append(ests, backfill.Noisy{Level: lvl, Seed: sc.Seed + 77})
+	}
+	ests = append(ests, backfill.RequestTime{})
+	pols := sched.All()
 
 	tbl := &Table{
 		Title:  "Figure 1: bsld vs runtime-prediction accuracy on SDSC-SP2 (EASY backfilling)",
@@ -29,27 +40,22 @@ func Figure1(sc Scale) (*Table, error) {
 			"paper shape: non-monotone in accuracy for FCFS/WFP3/F1; SJF best at AR",
 		},
 	}
-	for _, p := range sched.All() {
-		row := []string{p.Name()}
-		for _, lvl := range levels {
-			var est backfill.Estimator
-			if lvl == 0 {
-				est = backfill.ActualRuntime{}
-			} else {
-				est = backfill.Noisy{Level: lvl, Seed: sc.Seed + 77}
-			}
-			res, err := sim.Run(tr.Clone(), sim.Config{Policy: p, Backfiller: backfill.NewEASY(est)})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(res.Summary.MeanBSLD))
-		}
-		res, err := sim.Run(tr.Clone(), sim.Config{Policy: p, Backfiller: backfill.NewEASY(backfill.RequestTime{})})
+
+	grid, err := runGrid(p, len(pols), len(ests), func(pi, ci int) (string, error) {
+		res, err := sim.Run(tr.Clone(), sim.Config{
+			Policy:     pols[pi],
+			Backfiller: backfill.NewEASY(ests[ci]),
+		})
 		if err != nil {
-			return nil, err
+			return "", err
 		}
-		row = append(row, f2(res.Summary.MeanBSLD))
-		tbl.Rows = append(tbl.Rows, row)
+		return f2(res.Summary.MeanBSLD), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range pols {
+		tbl.Rows = append(tbl.Rows, append([]string{pol.Name()}, grid[pi]...))
 	}
 	return tbl, nil
 }

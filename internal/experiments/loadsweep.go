@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/backfill"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -14,21 +15,26 @@ import (
 // backfilling strategies compare as the offered load scales. It compresses
 // the SDSC-SP2 surrogate's arrivals by factors 0.5-2.0 and reports bsld for
 // no backfilling, EASY, SJF-ordered EASY, conservative and slack-based
-// backfilling under FCFS. The crossover structure (aggressive EASY gaining
-// on conservative as load rises) is the classic result this checks.
-func LoadSweep(sc Scale, _ io.Writer) (*Table, error) {
+// backfilling under FCFS. Every (factor, strategy) point is a weight-1 cell
+// on the worker pool, each scaling the trace and constructing its backfiller
+// privately. The crossover structure (aggressive EASY gaining on
+// conservative as load rises) is the classic result this checks.
+func LoadSweep(sc Scale, p *pool.Pool, _ io.Writer) (*Table, error) {
+	p = sc.cellPool(p)
 	base := trace.SyntheticSDSCSP2(sc.TraceJobs, sc.Seed+1)
 	est := backfill.RequestTime{}
 	strategies := []struct {
 		name string
-		bf   backfill.Backfiller
+		mk   func() backfill.Backfiller
 	}{
-		{"none", nil},
-		{"EASY", backfill.NewEASY(est)},
-		{"EASY-SJF", &backfill.EASY{Est: est, Order: backfill.SJFOrder}},
-		{"conservative", backfill.NewConservative(est)},
-		{"slack-0.5", backfill.NewSlack(est)},
+		{"none", func() backfill.Backfiller { return nil }},
+		{"EASY", func() backfill.Backfiller { return backfill.NewEASY(est) }},
+		{"EASY-SJF", func() backfill.Backfiller { return &backfill.EASY{Est: est, Order: backfill.SJFOrder} }},
+		{"conservative", func() backfill.Backfiller { return backfill.NewConservative(est) }},
+		{"slack-0.5", func() backfill.Backfiller { return backfill.NewSlack(est) }},
 	}
+	factors := []float64{0.5, 0.75, 1.0, 1.5, 2.0}
+
 	header := []string{"load factor"}
 	for _, s := range strategies {
 		header = append(header, s.name)
@@ -41,17 +47,20 @@ func LoadSweep(sc Scale, _ io.Writer) (*Table, error) {
 			"factor f divides inter-arrival gaps by f (f>1 = more load)",
 		},
 	}
-	for _, f := range []float64{0.5, 0.75, 1.0, 1.5, 2.0} {
-		scaled := trace.ScaleLoad(base, f)
-		row := []string{fmt.Sprintf("%.2f", f)}
-		for _, s := range strategies {
-			res, err := sim.Run(scaled.Clone(), sim.Config{Policy: sched.FCFS{}, Backfiller: s.bf})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f2(res.Summary.MeanBSLD))
+
+	grid, err := runGrid(p, len(factors), len(strategies), func(fi, si int) (string, error) {
+		scaled := trace.ScaleLoad(base, factors[fi]) // returns a private clone
+		res, err := sim.Run(scaled, sim.Config{Policy: sched.FCFS{}, Backfiller: strategies[si].mk()})
+		if err != nil {
+			return "", err
 		}
-		tbl.Rows = append(tbl.Rows, row)
+		return f2(res.Summary.MeanBSLD), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, f := range factors {
+		tbl.Rows = append(tbl.Rows, append([]string{fmt.Sprintf("%.2f", f)}, grid[fi]...))
 	}
 	return tbl, nil
 }

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// logMux serializes progress logging from concurrent experiments and
+// training cells onto one underlying writer. Each experiment gets a
+// prefixWriter; whole lines are emitted atomically under the shared mutex,
+// so `== running table4 ==` headers and epoch lines never shred even when
+// several cells log at once.
+type logMux struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newLogMux(w io.Writer) *logMux {
+	if w == nil {
+		w = io.Discard
+	}
+	return &logMux{w: w}
+}
+
+// prefix returns a writer that emits each complete line prefixed with tag.
+func (m *logMux) prefix(tag string) *prefixWriter {
+	return &prefixWriter{mux: m, tag: []byte(tag)}
+}
+
+// prefixWriter buffers partial writes until a newline, then writes
+// tag+line in one call under the mux mutex. It is safe for concurrent use
+// by multiple goroutines (e.g. two training cells of one experiment).
+type prefixWriter struct {
+	mux *logMux
+	tag []byte
+	buf []byte
+}
+
+// Write implements io.Writer. Errors from the underlying writer are
+// swallowed: progress logging must never fail an experiment.
+func (w *prefixWriter) Write(p []byte) (int, error) {
+	w.mux.mu.Lock()
+	defer w.mux.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	for {
+		nl := bytes.IndexByte(w.buf, '\n')
+		if nl < 0 {
+			break
+		}
+		line := make([]byte, 0, len(w.tag)+nl+1)
+		line = append(line, w.tag...)
+		line = append(line, w.buf[:nl+1]...)
+		w.mux.w.Write(line)
+		w.buf = w.buf[nl+1:]
+	}
+	return len(p), nil
+}
+
+// Flush emits any trailing partial line (without a newline terminator).
+func (w *prefixWriter) Flush() {
+	w.mux.mu.Lock()
+	defer w.mux.mu.Unlock()
+	if len(w.buf) == 0 {
+		return
+	}
+	line := append(append([]byte(nil), w.tag...), w.buf...)
+	line = append(line, '\n')
+	w.mux.w.Write(line)
+	w.buf = w.buf[:0]
+}

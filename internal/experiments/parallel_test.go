@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/sched"
+)
+
+// The acceptance bar of the parallel cell runner: the rendered output of the
+// full experiment set must be byte-identical at any worker count. Cells are
+// seeded per (cell, sequence) and assemble by index, so scheduling order
+// must not be observable.
+func TestRunManyDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL experiment skipped in -short mode")
+	}
+	sc := TinyScale()
+	sc.TraceJobs = 300
+	sc.Eval = evalCfg(2, 100)
+
+	var ref string
+	for _, w := range []int{1, 4, 8} {
+		sc.Workers = w
+		out, err := RunMany([]string{"all"}, sc, io.Discard)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", w, err)
+		}
+		if ref == "" {
+			ref = out
+			continue
+		}
+		if out != ref {
+			t.Fatalf("RunMany output differs between Workers=1 and Workers=%d:\n--- w=1 ---\n%s\n--- w=%d ---\n%s",
+				w, ref, w, out)
+		}
+	}
+}
+
+// countingLogWriter counts training announcements; safe for concurrent use.
+type countingLogWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *countingLogWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *countingLogWriter) trainings() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return strings.Count(w.buf.String(), "training RL-")
+}
+
+// TestZooSingleflight hammers one (policy, trace) key from many goroutines:
+// exactly one training must run, every caller must get the same agent, and
+// the path must be clean under -race (the CI race job runs this).
+func TestZooSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL experiment skipped in -short mode")
+	}
+	sc := TinyScale()
+	sc.TraceJobs = 300
+	sc.Eval = evalCfg(2, 100)
+	tr := Workloads(sc.TraceJobs, sc.Seed)[0]
+	zoo := NewZoo()
+	log := &countingLogWriter{}
+
+	const callers = 8
+	agents := make([]*core.Agent, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, _, err := zoo.Get(fcfs(), tr, sc, log)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			agents[i] = a
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if agents[i] != agents[0] {
+			t.Fatalf("caller %d got a different agent instance", i)
+		}
+	}
+	if n := log.trainings(); n != 1 {
+		t.Fatalf("%d trainings ran for one key, want 1 (singleflight)", n)
+	}
+}
+
+// Concurrent prefetches from two "experiments" must also dedupe onto one
+// training per key.
+func TestZooPrefetchDedupes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL experiment skipped in -short mode")
+	}
+	sc := TinyScale()
+	sc.TraceJobs = 300
+	sc.Eval = evalCfg(2, 100)
+	workloads := Workloads(sc.TraceJobs, sc.Seed)[:2]
+	zoo := NewZoo()
+	p := pool.New(4)
+	log := &countingLogWriter{}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := zoo.Prefetch(p, sc, log, []sched.Policy{fcfs()}, workloads); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := log.trainings(); n != len(workloads) {
+		t.Fatalf("%d trainings for %d keys prefetched twice, want %d", n, len(workloads), len(workloads))
+	}
+}
+
+func TestLogMuxPrefixesWholeLines(t *testing.T) {
+	var buf bytes.Buffer
+	mux := newLogMux(&buf)
+	w := mux.prefix("[t4] ")
+	fmt.Fprintf(w, "hello %d\nworld\n", 7)
+	w2 := mux.prefix("[t5] ")
+	fmt.Fprint(w2, "partial")
+	fmt.Fprint(w2, " line\n")
+	w2.Flush() // nothing pending: no-op
+	fmt.Fprint(w, "tail with no newline")
+	w.Flush()
+	got := buf.String()
+	want := "[t4] hello 7\n[t4] world\n[t5] partial line\n[t4] tail with no newline\n"
+	if got != want {
+		t.Fatalf("log mux output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// Interleaved concurrent writers must still emit whole prefixed lines.
+func TestLogMuxConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	mux := newLogMux(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := mux.prefix(fmt.Sprintf("[w%d] ", i))
+			for k := 0; k < 50; k++ {
+				fmt.Fprintf(w, "line %d\n", k)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "[w") || !strings.Contains(line, "] line ") {
+			t.Fatalf("shredded log line: %q", line)
+		}
+	}
+}
+
+// RunMany must keep writing nothing when log is nil (io.Discard path) and
+// still render concurrently.
+func TestRunManyNilLog(t *testing.T) {
+	sc := TinyScale()
+	sc.TraceJobs = 250
+	sc.Workers = 4
+	out, err := RunMany([]string{"table2", "fig1", "loadsweep"}, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 2", "Figure 1", "Load sweep"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+// After a cell fails, runCells must skip the cells it has not started yet
+// (fail-fast) and still report the lowest-index error deterministically.
+func TestRunCellsFailsFastAndDeterministically(t *testing.T) {
+	p := pool.New(1) // serial: cells run in submission order
+	var ran []int
+	err := runCells(p, 1, 6, func(i int) error {
+		ran = append(ran, i)
+		if i >= 2 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 2 failed" {
+		t.Fatalf("err = %v, want lowest-index failure (cell 2)", err)
+	}
+	if len(ran) != 3 { // cells 0,1,2 ran; 3-5 skipped by the latch
+		t.Fatalf("ran cells %v, want fail-fast skip after the first error", ran)
+	}
+}
+
+// A group handed an already-aborted pool (a sibling experiment failed) must
+// skip its cells AND report errAborted, so its experiment stops instead of
+// proceeding on missing results (e.g. fig4 falling back to inline training).
+func TestRunCellsReportsAbortFromSibling(t *testing.T) {
+	p := pool.New(1)
+	p.Abort()
+	err := runCells(p, 1, 3, func(i int) error {
+		t.Errorf("cell %d ran on an aborted pool", i)
+		return nil
+	})
+	if !errors.Is(err, errAborted) {
+		t.Fatalf("err = %v, want errAborted", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/backfill"
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -15,12 +16,17 @@ import (
 // FCFS/SJF with EASY, EASY-AR and RLBackfilling, plus the WFP3+EASY and
 // F1+EASY reference columns. RLBF models are trained per (policy, trace)
 // pair, exactly as the paper's protocol implies (Table 5's diagonals match
-// Table 4).
+// Table 4). The required models are prefetched as weighted pool cells, then
+// every (workload, column) evaluation runs as an independent cell and the
+// table assembles by index.
 //
 // Expected shape (paper): RLBF beats EASY(RT) on every trace and beats
 // EASY-AR on the archive traces with FCFS; EASY columns are "-" for the
 // Lublin traces, which have no user request times.
-func Table4(sc Scale, zoo *Zoo, log io.Writer) (*Table, error) {
+func Table4(sc Scale, zoo *Zoo, p *pool.Pool, log io.Writer) (*Table, error) {
+	p = sc.cellPool(p)
+	sc = sc.clampToPool(p)
+	workloads := Workloads(sc.TraceJobs, sc.Seed)
 	tbl := &Table{
 		Title: "Table 4: bsld of base policy + backfilling strategy",
 		Header: []string{"trace", "FCFS+EASY", "FCFS+EASY-AR", "FCFS+RLBF",
@@ -32,73 +38,85 @@ func Table4(sc Scale, zoo *Zoo, log io.Writer) (*Table, error) {
 		},
 	}
 
-	for _, tr := range Workloads(sc.TraceJobs, sc.Seed) {
-		row := []string{tr.Name}
-		cells, err := table4Row(sc, zoo, tr, log)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, cells...)
-		tbl.Rows = append(tbl.Rows, row)
+	// Train every model the RLBF columns will evaluate before the cell grid
+	// runs, so evaluation cells only ever hit the zoo cache.
+	if err := zoo.Prefetch(p, sc, log, []sched.Policy{sched.FCFS{}, sched.SJF{}}, workloads); err != nil {
+		return nil, err
+	}
+
+	cols := table4Columns(sc, zoo, log)
+	grid, err := runGrid(p, len(workloads), len(cols), func(wi, ci int) (string, error) {
+		return cols[ci].eval(workloads[wi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, tr := range workloads {
+		tbl.Rows = append(tbl.Rows, append([]string{tr.Name}, grid[wi]...))
 	}
 	return tbl, nil
 }
 
-func table4Row(sc Scale, zoo *Zoo, tr *trace.Trace, log io.Writer) ([]string, error) {
-	synthetic := isSynthetic(tr)
-	evalHeuristic := func(p sched.Policy, bf backfill.Backfiller) (string, error) {
-		mean, _, err := core.EvaluateStrategy(tr, p, bf, sc.Eval)
-		if err != nil {
-			return "", err
-		}
-		return f2(mean), nil
-	}
-	evalRL := func(p sched.Policy) (string, error) {
-		agent, _, err := zoo.Get(p, tr, sc, log)
-		if err != nil {
-			return "", err
-		}
-		mean, _, err := core.EvaluateAgent(agent, tr, p, sc.Eval)
-		if err != nil {
-			return "", err
-		}
-		return f2(mean), nil
-	}
+// table4Column is one column of Table 4: an evaluation of one workload under
+// one (policy, strategy) pairing.
+type table4Column struct {
+	eval func(tr *trace.Trace) (string, error)
+}
 
-	var cells []string
-	for _, p := range []sched.Policy{sched.FCFS{}, sched.SJF{}} {
-		// EASY on user request time: undefined for the Lublin traces.
-		if synthetic {
-			cells = append(cells, "-")
-		} else {
-			c, err := evalHeuristic(p, backfill.NewEASY(backfill.RequestTime{}))
-			if err != nil {
-				return nil, err
+// table4Columns builds the eight column evaluators. Each cell constructs its
+// own backfiller (they carry scratch state) and resolves the RL model from
+// the already-populated zoo.
+func table4Columns(sc Scale, zoo *Zoo, log io.Writer) []table4Column {
+	heuristic := func(pol sched.Policy, mk func() backfill.Backfiller, rtOnly bool) table4Column {
+		return table4Column{eval: func(tr *trace.Trace) (string, error) {
+			// EASY on user request time: undefined for the Lublin traces.
+			if rtOnly && isSynthetic(tr) {
+				return "-", nil
 			}
-			cells = append(cells, c)
-		}
-		c, err := evalHeuristic(p, backfill.NewEASY(backfill.ActualRuntime{}))
-		if err != nil {
-			return nil, err
-		}
-		cells = append(cells, c)
-		c, err = evalRL(p)
-		if err != nil {
-			return nil, err
-		}
-		cells = append(cells, c)
+			mean, _, err := core.EvaluateStrategy(tr, pol, mk(), sc.Eval)
+			if err != nil {
+				return "", err
+			}
+			return f2(mean), nil
+		}}
+	}
+	rl := func(pol sched.Policy) table4Column {
+		return table4Column{eval: func(tr *trace.Trace) (string, error) {
+			agent, _, err := zoo.Get(pol, tr, sc, log)
+			if err != nil {
+				return "", err
+			}
+			mean, _, err := core.EvaluateAgent(agent, tr, pol, sc.Eval)
+			if err != nil {
+				return "", err
+			}
+			return f2(mean), nil
+		}}
 	}
 	// WFP3+EASY and F1+EASY reference columns (request time where available).
-	refEst := backfill.Estimator(backfill.RequestTime{})
-	if synthetic {
-		refEst = backfill.ActualRuntime{}
+	ref := func(pol sched.Policy) table4Column {
+		return table4Column{eval: func(tr *trace.Trace) (string, error) {
+			var est backfill.Estimator = backfill.RequestTime{}
+			if isSynthetic(tr) {
+				est = backfill.ActualRuntime{}
+			}
+			mean, _, err := core.EvaluateStrategy(tr, pol, backfill.NewEASY(est), sc.Eval)
+			if err != nil {
+				return "", err
+			}
+			return f2(mean), nil
+		}}
 	}
-	for _, p := range []sched.Policy{sched.WFP3{}, sched.F1{}} {
-		c, err := evalHeuristic(p, backfill.NewEASY(refEst))
-		if err != nil {
-			return nil, err
-		}
-		cells = append(cells, c)
+
+	var cols []table4Column
+	for _, pol := range []sched.Policy{sched.FCFS{}, sched.SJF{}} {
+		pol := pol
+		cols = append(cols,
+			heuristic(pol, func() backfill.Backfiller { return backfill.NewEASY(backfill.RequestTime{}) }, true),
+			heuristic(pol, func() backfill.Backfiller { return backfill.NewEASY(backfill.ActualRuntime{}) }, false),
+			rl(pol),
+		)
 	}
-	return cells, nil
+	cols = append(cols, ref(sched.WFP3{}), ref(sched.F1{}))
+	return cols
 }

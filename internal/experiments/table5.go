@@ -6,18 +6,24 @@ import (
 
 	"repro/internal/backfill"
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/sched"
 )
 
 // Table5 reproduces the generality matrix (§4.4): a model trained on trace X
 // (column RL-X) is applied to every trace Y (rows), under FCFS and SJF base
 // policies. The EASY and EASY-AR columns are the heuristic baselines on the
-// same sequences.
+// same sequences. Models are prefetched through the pool (sharing the zoo
+// singleflight with Table 4), then every (base, Y, column) evaluation is an
+// independent cell assembled by index.
 //
 // Expected shape (paper): RL-X transferred to Y still beats EASY in most
 // cells, and the diagonal is not always the best column entry.
-func Table5(sc Scale, zoo *Zoo, log io.Writer) (*Table, error) {
+func Table5(sc Scale, zoo *Zoo, p *pool.Pool, log io.Writer) (*Table, error) {
+	p = sc.cellPool(p)
+	sc = sc.clampToPool(p)
 	workloads := Workloads(sc.TraceJobs, sc.Seed)
+	bases := []sched.Policy{sched.FCFS{}, sched.SJF{}}
 	header := []string{"trace", "EASY", "EASY-AR"}
 	for _, tr := range workloads {
 		header = append(header, "RL-"+tr.Name)
@@ -32,37 +38,53 @@ func Table5(sc Scale, zoo *Zoo, log io.Writer) (*Table, error) {
 		},
 	}
 
-	for _, base := range []sched.Policy{sched.FCFS{}, sched.SJF{}} {
-		tbl.AddRow(fmt.Sprintf("[%s as the base scheduling policy]", base.Name()))
-		// Train (or fetch) one model per source trace under this base policy.
-		for _, y := range workloads {
-			row := []string{y.Name}
+	if err := zoo.Prefetch(p, sc, log, bases, workloads); err != nil {
+		return nil, err
+	}
+
+	// Cell grid: one row per (base policy, trace Y), with the EASY and
+	// EASY-AR baselines plus one transferred model per source trace X.
+	nCols := 2 + len(workloads)
+	grid, err := runGrid(p, len(bases)*len(workloads), nCols, func(r, ci int) (string, error) {
+		base := bases[r/len(workloads)]
+		y := workloads[r%len(workloads)]
+		switch {
+		case ci == 0: // EASY on user request time
 			if isSynthetic(y) {
-				row = append(row, "-")
-			} else {
-				mean, _, err := core.EvaluateStrategy(y, base, backfill.NewEASY(backfill.RequestTime{}), sc.Eval)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f2(mean))
+				return "-", nil
 			}
+			mean, _, err := core.EvaluateStrategy(y, base, backfill.NewEASY(backfill.RequestTime{}), sc.Eval)
+			if err != nil {
+				return "", err
+			}
+			return f2(mean), nil
+		case ci == 1: // EASY-AR
 			mean, _, err := core.EvaluateStrategy(y, base, backfill.NewEASY(backfill.ActualRuntime{}), sc.Eval)
 			if err != nil {
-				return nil, err
+				return "", err
 			}
-			row = append(row, f2(mean))
-			for _, x := range workloads {
-				agent, _, err := zoo.Get(base, x, sc, log)
-				if err != nil {
-					return nil, err
-				}
-				m, _, err := core.EvaluateAgent(agent, y, base, sc.Eval)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, f2(m))
+			return f2(mean), nil
+		default: // model trained on X, applied to Y
+			x := workloads[ci-2]
+			agent, _, err := zoo.Get(base, x, sc, log)
+			if err != nil {
+				return "", err
 			}
-			tbl.Rows = append(tbl.Rows, row)
+			mean, _, err := core.EvaluateAgent(agent, y, base, sc.Eval)
+			if err != nil {
+				return "", err
+			}
+			return f2(mean), nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for bi, base := range bases {
+		tbl.AddRow(fmt.Sprintf("[%s as the base scheduling policy]", base.Name()))
+		for yi, y := range workloads {
+			tbl.Rows = append(tbl.Rows, append([]string{y.Name}, grid[bi*len(workloads)+yi]...))
 		}
 	}
 	return tbl, nil

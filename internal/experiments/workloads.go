@@ -9,6 +9,7 @@ import (
 	"repro/internal/backfill"
 	"repro/internal/core"
 	"repro/internal/lublin"
+	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -67,40 +68,110 @@ func isSynthetic(t *trace.Trace) bool {
 }
 
 // Zoo holds trained RLBackfilling models keyed by "<policy>/<trace>",
-// shared by Table 4 and Table 5 (the paper trains one model per base policy
-// and trace).
+// shared by Table 4, Table 5 and Figure 4 (the paper trains one model per
+// base policy and trace). It is concurrency-safe with singleflight
+// semantics: concurrent Get calls for the same key block on ONE training
+// run (the first caller trains, the rest wait on its completion), while
+// requests for distinct keys proceed independently — no global training
+// lock.
 type Zoo struct {
-	mu     sync.Mutex
-	models map[string]*core.Agent
-	curves map[string][]core.EpochStats
+	mu      sync.Mutex
+	entries map[string]*zooEntry
+}
+
+// zooEntry is one singleflight slot: done closes when training finished
+// (successfully or not); the result fields are immutable afterwards. A
+// training error is sticky — retrying the identical deterministic training
+// would fail identically.
+type zooEntry struct {
+	done  chan struct{}
+	agent *core.Agent
+	curve []core.EpochStats
+	err   error
 }
 
 // NewZoo returns an empty model zoo.
 func NewZoo() *Zoo {
-	return &Zoo{models: make(map[string]*core.Agent), curves: make(map[string][]core.EpochStats)}
+	return &Zoo{entries: make(map[string]*zooEntry)}
 }
 
 func zooKey(policy sched.Policy, tr *trace.Trace) string {
 	return policy.Name() + "/" + tr.Name
 }
 
-// Get returns the model for (policy, trace), training it on first use. When
-// the scale disables per-policy models, training always uses FCFS and the
-// resulting agent is shared across base policies (the transfer the paper
-// reports in §1/§4.4).
-func (z *Zoo) Get(policy sched.Policy, tr *trace.Trace, sc Scale, log io.Writer) (*core.Agent, []core.EpochStats, error) {
+// normPolicy maps the requested base policy to the one actually trained:
+// when the scale disables per-policy models, training always uses FCFS and
+// the resulting agent is shared across base policies (the transfer the
+// paper reports in §1/§4.4).
+func (sc Scale) normPolicy(policy sched.Policy) sched.Policy {
 	if !sc.PerPolicyModels {
-		policy = sched.FCFS{}
+		return sched.FCFS{}
 	}
+	return policy
+}
+
+// Get returns the model for (policy, trace), training it on first use.
+func (z *Zoo) Get(policy sched.Policy, tr *trace.Trace, sc Scale, log io.Writer) (*core.Agent, []core.EpochStats, error) {
+	policy = sc.normPolicy(policy)
 	key := zooKey(policy, tr)
 	z.mu.Lock()
-	if a, ok := z.models[key]; ok {
-		curve := z.curves[key]
+	if e, ok := z.entries[key]; ok {
 		z.mu.Unlock()
-		return a, curve, nil
+		<-e.done // singleflight: ride the in-flight (or finished) training
+		return e.agent, e.curve, e.err
 	}
+	e := &zooEntry{done: make(chan struct{})}
+	z.entries[key] = e
 	z.mu.Unlock()
 
+	e.agent, e.curve, e.err = z.train(policy, tr, sc, log)
+	close(e.done)
+	return e.agent, e.curve, e.err
+}
+
+// Prefetch trains every (policy, trace) model the caller will evaluate,
+// as weighted cells on the shared pool, before evaluation cells run. Keys
+// are deduplicated after policy normalization, and keys whose training
+// already exists or is in flight (a concurrent experiment got there first —
+// the Get singleflight guarantees one run per key) are skipped entirely, so
+// redundant full-weight cells never act as pool-wide FIFO barriers; eval
+// cells riding an in-flight training block on its completion in Get. Like
+// runCells, Prefetch reports the lowest-index error (deterministic across
+// runs) and stops launching trainings after the first failure.
+func (z *Zoo) Prefetch(p *pool.Pool, sc Scale, log io.Writer, policies []sched.Policy, traces []*trace.Trace) error {
+	sc = sc.clampToPool(p) // direct callers may pass a pool smaller than the scale
+	type pair struct {
+		pol sched.Policy
+		tr  *trace.Trace
+	}
+	seen := make(map[string]bool)
+	var pairs []pair
+	for _, tr := range traces {
+		for _, pol := range policies {
+			np := sc.normPolicy(pol)
+			key := zooKey(np, tr)
+			if seen[key] || z.started(key) {
+				continue
+			}
+			seen[key] = true
+			pairs = append(pairs, pair{np, tr})
+		}
+	}
+	return runCells(p, sc.trainWeight(), len(pairs), func(i int) error {
+		_, _, err := z.Get(pairs[i].pol, pairs[i].tr, sc, log)
+		return err
+	})
+}
+
+// started reports whether a training for key exists (done or in flight).
+func (z *Zoo) started(key string) bool {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return z.entries[key] != nil
+}
+
+// train runs one model's training (the singleflight leader's work).
+func (z *Zoo) train(policy sched.Policy, tr *trace.Trace, sc Scale, log io.Writer) (*core.Agent, []core.EpochStats, error) {
 	cfg := sc.trainConfig(policy, estimatorFor(tr))
 	trainer, err := core.NewTrainer(tr, cfg)
 	if err != nil {
@@ -119,10 +190,5 @@ func (z *Zoo) Get(policy sched.Policy, tr *trace.Trace, sc Scale, log io.Writer)
 	if err != nil {
 		return nil, nil, err
 	}
-	agent := trainer.Agent()
-	z.mu.Lock()
-	z.models[key] = agent
-	z.curves[key] = curve
-	z.mu.Unlock()
-	return agent, curve, nil
+	return trainer.Agent(), curve, nil
 }

@@ -12,8 +12,11 @@
 // locates jobs by binary search on their score instead of a linear scan, and
 // the running set is maintained as an ID-sorted slice so backfillers'
 // reservation computations never trigger a rebuild-and-sort. All orderings
-// use sched.Less (score, then submit time, then ID), which keeps schedules
-// bit-identical to a naive sort-every-event kernel.
+// use sched.Less (score, then submit time, then ID), and arrivals are fed
+// lazily from the submit-sorted trace instead of being heap-pushed one event
+// per job up front — the event heap holds only pending completions (size ~
+// running jobs, not trace length) — which keeps schedules bit-identical to a
+// naive sort-every-event kernel.
 package sim
 
 import (
@@ -54,7 +57,14 @@ type Engine struct {
 	procs   int
 	clock   int64
 	cluster *cluster.Cluster
-	events  eventq.Queue
+	// events holds only Finish events: arrivals are fed lazily from the
+	// submit-sorted trace (below), so the heap never exceeds the number of
+	// concurrently running jobs instead of starting at size n.
+	events eventq.Queue
+	// arrivals is the validated, submit-sorted job list; nextArr indexes the
+	// first job not yet admitted to the waiting queue.
+	arrivals []*trace.Job
+	nextArr  int
 	// queue holds the waiting jobs; qscore[i] is queue[i]'s policy score.
 	// For static policies both stay sorted (sched.Less) at all times; for
 	// time-varying policies they are re-sorted at the top of every
@@ -70,8 +80,10 @@ type Engine struct {
 	records []metrics.Record
 }
 
-// NewEngine prepares an engine for the given trace. The trace is validated;
-// all submissions are pre-loaded as arrival events.
+// NewEngine prepares an engine for the given trace. The trace is validated
+// (which guarantees submit-sorted jobs); arrivals are fed lazily from that
+// order rather than heap-pushed up front, so the event queue stays
+// proportional to the running set.
 func NewEngine(t *trace.Trace, cfg Config) (*Engine, error) {
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("sim: config needs a base scheduling policy")
@@ -79,17 +91,14 @@ func NewEngine(t *trace.Trace, cfg Config) (*Engine, error) {
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg:     cfg,
-		procs:   t.Procs,
-		cluster: cluster.New(t.Procs),
-		static:  !cfg.Policy.TimeVarying(),
-		records: make([]metrics.Record, 0, len(t.Jobs)),
-	}
-	for _, j := range t.Jobs {
-		e.events.Push(eventq.Event{Time: j.Submit, Kind: eventq.Arrive, Payload: j})
-	}
-	return e, nil
+	return &Engine{
+		cfg:      cfg,
+		procs:    t.Procs,
+		cluster:  cluster.New(t.Procs),
+		static:   !cfg.Policy.TimeVarying(),
+		arrivals: t.Jobs,
+		records:  make([]metrics.Record, 0, len(t.Jobs)),
+	}, nil
 }
 
 // Run replays the whole trace to completion and returns per-job records plus
@@ -112,21 +121,28 @@ func (e *Engine) RunToCompletion() {
 // Step advances the simulation by one event batch: it drains every event at
 // the earliest pending timestamp (so a single scheduling decision sees all
 // completions and arrivals at that instant), runs one scheduling round, and
-// notifies the probe. It reports false when no events remain.
+// notifies the probe. It reports false when no events remain. Completions
+// apply before arrivals at the same instant — the same ordering the event
+// heap enforced when arrivals were queued as events — so freed processors
+// are visible to the newly arrived jobs, and arrivals enter in trace order,
+// matching the heap's insertion-order tie-break.
 func (e *Engine) Step() bool {
-	ev, ok := e.events.Pop()
+	now, ok := e.nextTime()
 	if !ok {
 		return false
 	}
-	e.clock = ev.Time
-	e.apply(ev)
+	e.clock = now
 	for {
 		next, ok := e.events.Peek()
-		if !ok || next.Time != e.clock {
+		if !ok || next.Time != now {
 			break
 		}
-		ev, _ = e.events.Pop()
-		e.apply(ev)
+		ev, _ := e.events.Pop()
+		e.applyFinish(ev.Payload.(*trace.Job))
+	}
+	for e.nextArr < len(e.arrivals) && e.arrivals[e.nextArr].Submit == now {
+		e.enqueue(e.arrivals[e.nextArr])
+		e.nextArr++
 	}
 	e.schedule()
 	if e.cfg.Probe != nil {
@@ -135,18 +151,28 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-func (e *Engine) apply(ev eventq.Event) {
-	switch ev.Kind {
-	case eventq.Arrive:
-		e.enqueue(ev.Payload.(*trace.Job))
-	case eventq.Finish:
-		j := ev.Payload.(*trace.Job)
-		if err := e.cluster.Release(j.ID); err != nil {
-			panic(fmt.Sprintf("sim: releasing job %d: %v", j.ID, err))
+// nextTime returns the earliest pending timestamp across the finish heap and
+// the unfed arrivals, or ok=false when the simulation is drained.
+func (e *Engine) nextTime() (int64, bool) {
+	var t int64
+	have := false
+	if ev, ok := e.events.Peek(); ok {
+		t, have = ev.Time, true
+	}
+	if e.nextArr < len(e.arrivals) {
+		if s := e.arrivals[e.nextArr].Submit; !have || s < t {
+			t, have = s, true
 		}
-		if i := e.runningIndex(j.ID); i < len(e.running) && e.running[i].Job.ID == j.ID {
-			e.running = append(e.running[:i], e.running[i+1:]...)
-		}
+	}
+	return t, have
+}
+
+func (e *Engine) applyFinish(j *trace.Job) {
+	if err := e.cluster.Release(j.ID); err != nil {
+		panic(fmt.Sprintf("sim: releasing job %d: %v", j.ID, err))
+	}
+	if i := e.runningIndex(j.ID); i < len(e.running) && e.running[i].Job.ID == j.ID {
+		e.running = append(e.running[:i], e.running[i+1:]...)
 	}
 }
 

@@ -422,3 +422,26 @@ func TestJobKilledAtRequestLimit(t *testing.T) {
 		}
 	}
 }
+
+// Arrivals are fed lazily from the submit-sorted trace, so the event heap
+// holds only pending completions: its size must never exceed the running
+// set, instead of starting at one event per trace job.
+func TestLazyArrivalsKeepEventHeapSmall(t *testing.T) {
+	tr := trace.SyntheticSDSCSP2(500, 5)
+	e, err := NewEngine(tr.Clone(), Config{Policy: sched.FCFS{}, Backfiller: backfill.NewEASY(backfill.RequestTime{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.events.Len(); got != 0 {
+		t.Fatalf("fresh engine queued %d events, want 0 (lazy arrivals)", got)
+	}
+	for e.Step() {
+		if e.events.Len() > len(e.running) {
+			t.Fatalf("at t=%d the heap holds %d events > %d running jobs",
+				e.Now(), e.events.Len(), len(e.running))
+		}
+	}
+	if len(e.Records()) != tr.Len() {
+		t.Fatalf("completed %d jobs, want %d", len(e.Records()), tr.Len())
+	}
+}

@@ -16,7 +16,7 @@ func TestFigure1TinySmoke(t *testing.T) {
 	if !ok {
 		t.Fatal("tiny scale missing")
 	}
-	tbl, err := experiments.Figure1(sc)
+	tbl, err := experiments.Figure1(sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
