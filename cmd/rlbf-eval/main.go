@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sched"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 	seqLen := flag.Int("seqlen", 1024, "jobs per sequence")
 	seed := flag.Uint64("seed", 2023, "sampling seed")
 	workers := flag.Int("workers", 0, "concurrent sequence replays (0 or 1 = sequential)")
+	shardWindow := flag.Int("shard-window", 0, "jobs per shard window for long sequence replays (0 = off)")
+	shardOverlap := flag.Int("shard-overlap", 512, "warm-up/cool-down jobs replayed on each window flank")
 	flag.Parse()
 
 	policy, err := sched.ByName(*policyArg)
@@ -38,7 +41,8 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	evalCfg := core.EvalConfig{Sequences: *seqs, SeqLen: *seqLen, Seed: *seed, Workers: *workers}
+	evalCfg := core.EvalConfig{Sequences: *seqs, SeqLen: *seqLen, Seed: *seed, Workers: *workers,
+		Shard: shard.Config{Window: *shardWindow, Overlap: *shardOverlap, MinJobs: 1}}
 	est := experiments.Estimator(tr)
 
 	fmt.Printf("workload %s (%d jobs, %d procs), base policy %s, %d x %d-job sequences (seed %d)\n",

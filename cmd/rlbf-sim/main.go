@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -32,6 +33,9 @@ func main() {
 	modelArg := flag.String("model", "", "model file for -backfill rlbf")
 	noise := flag.Float64("noise", 0, "prediction noise level for easy (+x, e.g. 0.2)")
 	csvPath := flag.String("csv", "", "write per-job records to this CSV file")
+	shardWindow := flag.Int("shard-window", 0, "jobs per shard window for parallel replay (0 = sequential)")
+	shardOverlap := flag.Int("shard-overlap", 512, "warm-up/cool-down jobs replayed on each window flank")
+	shardWorkers := flag.Int("shard-workers", 0, "concurrently simulated windows (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	policy, err := sched.ByNameExtended(*policyArg)
@@ -77,8 +81,31 @@ func main() {
 		fatal("unknown backfill strategy %q", *bfArg)
 	}
 
-	probe := &sim.TimelineProbe{}
-	res, err := sim.Run(tr, sim.Config{Policy: policy, Backfiller: bf, Probe: probe})
+	// Sharding only engages for a cloneable (or absent) backfiller and more
+	// than one window; otherwise shard.Replay would silently run
+	// sequentially, so keep the probe and tell the user why.
+	sharded := *shardWindow > 0 && *shardWindow < tr.Len()
+	if sharded && bf != nil {
+		if _, ok := bf.(backfill.Cloneable); !ok {
+			fmt.Fprintf(os.Stderr, "rlbf-sim: -shard-window ignored: backfiller %s cannot be cloned across windows\n", bf.Name())
+			sharded = false
+		}
+	}
+	// Both modes go through shard.Replay — a zero shard.Config is a
+	// sequential replay — so the records (and any CSV) come back in trace
+	// order either way and the two outputs stay row-for-row comparable. A
+	// probe observes the whole engine timeline, which a stitched replay
+	// cannot reproduce, so the sparkline exists only in sequential mode.
+	var probe *sim.TimelineProbe
+	var shardCfg shard.Config
+	simCfg := sim.Config{Policy: policy, Backfiller: bf}
+	if sharded {
+		shardCfg = shard.Config{Window: *shardWindow, Overlap: *shardOverlap, MinJobs: 1, Workers: *shardWorkers}
+	} else {
+		probe = &sim.TimelineProbe{}
+		simCfg.Probe = probe // assigned only when non-nil: a typed-nil probe would defeat the engine's nil check
+	}
+	res, err := shard.Replay(tr, simCfg, shardCfg, nil)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -88,8 +115,12 @@ func main() {
 	}
 	fmt.Printf("%s | policy %s | backfill %s\n", trace.ComputeStats(tr), policy.Name(), bfName)
 	fmt.Println(res.Summary)
-	fmt.Println(probe)
-	fmt.Printf("util |%s|\n", probe.Sparkline(72))
+	if probe != nil {
+		fmt.Println(probe)
+		fmt.Printf("util |%s|\n", probe.Sparkline(72))
+	} else {
+		fmt.Printf("sharded replay: window %d, overlap %d (timeline probe off)\n", *shardWindow, *shardOverlap)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -5,7 +5,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backfill"
+	"repro/internal/pool"
 	"repro/internal/sched"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -24,6 +26,16 @@ type EvalConfig struct {
 	// Sequence sampling is derived from Seed alone and results are collected
 	// by sequence index, so the outcome is identical at any worker count.
 	Workers int
+	// Shard, when enabled and SeqLen is at or above its threshold, replays
+	// each sampled sequence as overlapping windows on a pool shared by all
+	// sequences (internal/shard). Below the threshold — every existing test
+	// and the paper's 1024-job sequences under the default threshold — the
+	// replay path is exactly the unsharded one. A sharded replay sums its
+	// summary over trace order rather than start order, so per-sequence
+	// bslds can differ from the unsharded value in the last float bits (the
+	// records themselves are byte-identical given sufficient overlap; see
+	// DESIGN.md §7).
+	Shard shard.Config
 }
 
 // DefaultEvalConfig returns the paper's evaluation protocol.
@@ -64,6 +76,20 @@ func runSequences(t *trace.Trace, base sched.Policy, cfg EvalConfig,
 	errs := make([]error, len(starts))
 
 	w := cfg.workers()
+	// All sequences' windows share one pool, so total machine pressure stays
+	// bounded no matter how many sequences replay concurrently (the sequence
+	// goroutines hold no tokens, like RunMany's experiment coordinators).
+	// The pool defaults to the eval worker budget — NOT GOMAXPROCS — so an
+	// evaluation embedded in a weight-1 experiment cell never multiplies the
+	// parallelism its caller configured; an explicit Shard.Workers overrides.
+	var shardPool *pool.Pool
+	if cfg.Shard.Active(cfg.SeqLen) {
+		sw := cfg.Shard.Workers
+		if sw <= 0 {
+			sw = w
+		}
+		shardPool = pool.New(sw)
+	}
 	var wg sync.WaitGroup
 	var failed atomic.Bool
 	sem := make(chan struct{}, w)
@@ -77,7 +103,13 @@ func runSequences(t *trace.Trace, base sched.Policy, cfg EvalConfig,
 			defer wg.Done()
 			defer func() { <-sem }()
 			seq := trace.Slice(t, start, cfg.SeqLen)
-			res, err := sim.Run(seq, sim.Config{Policy: base, Backfiller: mkBF()})
+			var res *sim.Result
+			var err error
+			if cfg.Shard.Active(seq.Len()) {
+				res, err = shard.ReplayWith(seq, base, mkBF, cfg.Shard, shardPool)
+			} else {
+				res, err = sim.Run(seq, sim.Config{Policy: base, Backfiller: mkBF()})
+			}
 			if err != nil {
 				errs[i] = err
 				failed.Store(true)
@@ -107,6 +139,7 @@ func EvaluateStrategy(t *trace.Trace, base sched.Policy, bf backfill.Backfiller,
 			mkBF = func() backfill.Backfiller { return c.Fresh() }
 		} else {
 			cfg.Workers = 1 // cannot share scratch state between replays
+			cfg.Shard = shard.Config{}
 		}
 	}
 	return runSequences(t, base, cfg, mkBF)

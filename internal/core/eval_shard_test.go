@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/shard"
+	"repro/internal/trace"
+)
+
+// TestEvaluateStrategyShardedMatches pins the eval-protocol integration:
+// sharding the per-sequence replays must leave the evaluation unchanged up
+// to float summation order (the stitched records are byte-identical with
+// sufficient overlap; only the summary's accumulation order differs).
+func TestEvaluateStrategyShardedMatches(t *testing.T) {
+	tr := trace.ScaleLoad(trace.SyntheticSDSCSP2(4000, 1), 0.5)
+	cfg := EvalConfig{Sequences: 3, SeqLen: 2000, Seed: 7, Workers: 2}
+	mean, per, err := EvaluateStrategy(tr, sched.FCFS{}, backfill.NewEASY(backfill.RequestTime{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shCfg := cfg
+	shCfg.Shard = shard.Config{Window: 500, Overlap: 512, MinJobs: 1}
+	shMean, shPer, err := EvaluateStrategy(tr, sched.FCFS{}, backfill.NewEASY(backfill.RequestTime{}), shCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-9
+	if rel := math.Abs(shMean-mean) / mean; rel > tol {
+		t.Fatalf("sharded mean bsld %.12f vs sequential %.12f (rel %.2e)", shMean, mean, rel)
+	}
+	for i := range per {
+		if rel := math.Abs(shPer[i]-per[i]) / per[i]; rel > tol {
+			t.Fatalf("sequence %d: sharded bsld %.12f vs sequential %.12f (rel %.2e)", i, shPer[i], per[i], rel)
+		}
+	}
+}
+
+// TestEvaluateStrategyShardAutoOff pins that a shard config below its
+// threshold leaves evaluation bit-identical to the unsharded path: the
+// sequences replay through the exact same sim.Run call.
+func TestEvaluateStrategyShardAutoOff(t *testing.T) {
+	tr := trace.SyntheticSDSCSP2(1500, 1)
+	cfg := EvalConfig{Sequences: 2, SeqLen: 256, Seed: 7}
+	mean, per, err := EvaluateStrategy(tr, sched.FCFS{}, backfill.NewEASY(backfill.RequestTime{}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCfg := cfg
+	offCfg.Shard = shard.Config{Window: 64} // default MinJobs ≫ SeqLen: stays off
+	offMean, offPer, err := EvaluateStrategy(tr, sched.FCFS{}, backfill.NewEASY(backfill.RequestTime{}), offCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != offMean {
+		t.Fatalf("auto-off changed the mean: %v vs %v", offMean, mean)
+	}
+	for i := range per {
+		if per[i] != offPer[i] {
+			t.Fatalf("auto-off changed sequence %d: %v vs %v", i, offPer[i], per[i])
+		}
+	}
+}

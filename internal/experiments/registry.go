@@ -87,6 +87,13 @@ func Names() []string {
 // order. Cells are deterministically seeded and results assemble by index,
 // so the returned string is byte-identical at any worker count.
 func RunMany(names []string, sc Scale, log io.Writer) (string, error) {
+	// One knob shards everything: whole-trace replay cells read sc.Shard
+	// directly, eval-protocol sequences get it through the eval config. A
+	// caller that configured Eval.Shard on its own (leaving Scale.Shard off)
+	// keeps its setting.
+	if sc.Shard.Enabled() {
+		sc.Eval.Shard = sc.Shard
+	}
 	zoo := NewZoo()
 	reg := registry(zoo)
 	if len(names) == 1 && names[0] == "all" {

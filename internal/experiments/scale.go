@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ppo"
 	"repro/internal/sched"
+	"repro/internal/shard"
 )
 
 // Scale bundles the knobs that trade fidelity for wall-clock time. The
@@ -37,6 +38,12 @@ type Scale struct {
 	Seed uint64
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Shard, when enabled, replays whole-trace cells (conservative,
+	// loadsweep) and — via RunMany propagating it into Eval.Shard — the
+	// eval-protocol sequences as overlapping windows stitched in parallel
+	// (internal/shard). Off by default at every named scale; rlbf-exp's
+	// -shard-window/-shard-overlap flags switch it on.
+	Shard shard.Config
 	// PerPolicyModels trains a separate RL model per base policy (the
 	// paper's Table 4/5 protocol). When false, models are trained with FCFS
 	// only and transferred to the other base policies — the generality the

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/shard"
+)
+
+// TestConservativeCompareSharded pins that switching the whole-trace replay
+// cells to the sharded pipeline leaves the rendered table unchanged. The
+// tiny workloads are saturated, so the overlap is set past the trace length
+// — every window replays the full range and keeps its own slice — making
+// the stitch structurally exact regardless of drain behaviour. The second
+// run drives the cells through a one-token pool, pinning that the shard
+// fan-out clamps to an undersized pool instead of deadlocking.
+func TestConservativeCompareSharded(t *testing.T) {
+	sc := TinyScale()
+	sc.TraceJobs = 200
+	want, err := ConservativeCompare(sc, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Shard = shard.Config{Window: 50, Overlap: 400, MinJobs: 1, Workers: 4}
+	for name, p := range map[string]*pool.Pool{"private": nil, "one-token": pool.New(1)} {
+		got, err := ConservativeCompare(sc, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("%s: sharded table differs from sequential:\n--- sequential ---\n%s\n--- sharded ---\n%s",
+				name, want.String(), got.String())
+		}
+	}
+}
+
+// TestLoadSweepSharded is the same pin for the load-compression sweep.
+func TestLoadSweepSharded(t *testing.T) {
+	sc := TinyScale()
+	sc.TraceJobs = 200
+	want, err := LoadSweep(sc, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Shard = shard.Config{Window: 50, Overlap: 400, MinJobs: 1, Workers: 2}
+	got, err := LoadSweep(sc, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("sharded load sweep differs from sequential:\n--- sequential ---\n%s\n--- sharded ---\n%s",
+			want.String(), got.String())
+	}
+}

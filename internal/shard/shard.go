@@ -1,0 +1,228 @@
+// Package shard replays long traces as overlapping windows simulated in
+// parallel and stitched back into a single result stream, so paper-scale
+// end-to-end replays stop being a single-threaded bottleneck (ROADMAP:
+// "Trace sharding for long replays"; cf. the split-window evaluation of
+// Deep Back-Filling, arXiv:2401.09910).
+//
+// # Window/overlap model
+//
+// A trace of n jobs is cut into ceil(n/Window) consecutive windows of
+// Window jobs. Window w owns jobs [w*Window, (w+1)*Window) — its "proper"
+// region — but replays the wider range
+//
+//	[w*Window - Overlap, (w+1)*Window + Overlap)
+//
+// clamped to the trace. The leading Overlap jobs are the warm-up: replaying
+// them from a cold cluster rebuilds the backlog (queue + running set) the
+// sequential replay would have accumulated by the window start. The trailing
+// Overlap jobs are the cool-down: they supply the future arrivals that
+// compete with end-of-window jobs before those jobs start (a later arrival
+// can backfill into a gap and change an earlier job's start, but only while
+// that job is still waiting). Records are kept only for the proper region;
+// both flanks are discarded.
+//
+// # Determinism and exactness
+//
+// Scheduling in this simulator is memoryless beyond the engine state:
+// backfillers rebuild their profiles from the running set every round, so
+// the state (clock, queue, running) plus the remaining arrivals fully
+// determines the rest of the schedule. If at any instant inside the warm-up
+// region the window replay's state coincides with the sequential replay's —
+// in particular at any drain point, where both are empty — the two evolve
+// identically from there on, and the window's proper records are exact.
+// Batch traces drain regularly (arrival lulls), so with Overlap spanning a
+// drain interval the stitched replay is byte-identical to the sequential
+// one; the differential test pins this for the synthetic archives. With
+// insufficient overlap the stitch degrades gracefully: records stay exact
+// except for jobs whose wait straddles an unconverged boundary, and the
+// aggregate error is bounded by the documented tolerance (DESIGN.md §7).
+//
+// Stitched records are returned in trace (submission) order — window w
+// writes its proper records into the slots [w*Window, (w+1)*Window) of one
+// shared slice — so the output is deterministic and independent of worker
+// count and window completion order.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/backfill"
+	"repro/internal/metrics"
+	"repro/internal/pool"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DefaultMinJobs is the auto-off threshold: traces shorter than this replay
+// sequentially even when sharding is configured, so short tests and eval
+// sequences are untouched by the sharded path.
+const DefaultMinJobs = 2048
+
+// Config selects the sharded-replay geometry. The zero value disables
+// sharding entirely.
+type Config struct {
+	// Window is the number of jobs each window owns. 0 disables sharding.
+	Window int
+	// Overlap is the number of jobs replayed on each flank of a window
+	// (warm-up before, cool-down after) and discarded. Larger overlaps make
+	// the stitch exact at the cost of duplicated simulation work.
+	Overlap int
+	// MinJobs is the auto-off threshold (DefaultMinJobs when 0): traces
+	// with fewer jobs replay sequentially.
+	MinJobs int
+	// Workers bounds the number of concurrently simulated windows when
+	// Replay creates its own pool (0 = GOMAXPROCS). Ignored when the caller
+	// supplies a pool.
+	Workers int
+}
+
+// Enabled reports whether sharding is configured at all.
+func (c Config) Enabled() bool { return c.Window > 0 }
+
+// Active reports whether a trace of n jobs would actually be sharded: the
+// config must be enabled and the trace at least MinJobs long.
+func (c Config) Active(n int) bool {
+	m := c.MinJobs
+	if m <= 0 {
+		m = DefaultMinJobs
+	}
+	return c.Enabled() && n >= m
+}
+
+// WorkerCount resolves Workers (0 = GOMAXPROCS).
+func (c Config) WorkerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Replay replays t under cfg, sharding it per sc when the trace is long
+// enough. The backfiller must be nil or backfill.Cloneable to shard (each
+// window needs private scratch state); a non-cloneable backfiller, a
+// configured Probe, or a trace below the threshold all fall back to a
+// sequential replay. Windows run as weight-1 cells on p, or on a private
+// pool of sc.WorkerCount() tokens when p is nil.
+//
+// Records are always returned in trace (submission) order — including on
+// the sequential fallback — and the Summary is computed over that order, so
+// Replay's output for a given (trace, config) is identical whether or not
+// sharding engaged, modulo the overlap-convergence argument above.
+func Replay(t *trace.Trace, cfg sim.Config, sc Config, p *pool.Pool) (*sim.Result, error) {
+	if cfg.Probe != nil {
+		return sequential(t, cfg)
+	}
+	mkBF := func() backfill.Backfiller { return cfg.Backfiller }
+	if cfg.Backfiller != nil {
+		c, ok := cfg.Backfiller.(backfill.Cloneable)
+		if !ok {
+			return sequential(t, cfg)
+		}
+		mkBF = func() backfill.Backfiller { return c.Fresh() }
+	}
+	return ReplayWith(t, cfg.Policy, mkBF, sc, p)
+}
+
+// ReplayWith is Replay for callers that construct backfillers themselves
+// (e.g. core.EvaluateAgent's greedy clones): mkBF is invoked once per
+// window — or once total on the sequential path — and each returned
+// instance is used by exactly one engine.
+func ReplayWith(t *trace.Trace, policy sched.Policy, mkBF func() backfill.Backfiller, sc Config, p *pool.Pool) (*sim.Result, error) {
+	n := t.Len()
+	if !sc.Active(n) {
+		return sequential(t, sim.Config{Policy: policy, Backfiller: mkBF()})
+	}
+	numWin := (n + sc.Window - 1) / sc.Window
+	if numWin <= 1 {
+		return sequential(t, sim.Config{Policy: policy, Backfiller: mkBF()})
+	}
+	index := jobIndex(t)
+	records := make([]metrics.Record, n)
+	errs := make([]error, numWin)
+	if p == nil {
+		p = pool.New(sc.WorkerCount())
+	}
+	g := p.NewGroup()
+	for w := 0; w < numWin; w++ {
+		w := w
+		g.Go(1, func() error {
+			errs[w] = replayWindow(t, sim.Config{Policy: policy, Backfiller: mkBF()}, sc, w, index, records)
+			return nil // indexed slots give deterministic error selection
+		})
+	}
+	_ = g.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &sim.Result{Records: records, Summary: metrics.Summarize(records, t.Procs)}, nil
+}
+
+// replayWindow simulates window w's extended range on a fresh engine and
+// writes the proper region's records into their trace-order slots of out.
+// The replay stops as soon as every owned job has started — a record's End
+// is fixed at start time — so the drain of the cool-down region is never
+// simulated.
+func replayWindow(t *trace.Trace, cfg sim.Config, sc Config, w int,
+	index map[*trace.Job]int, out []metrics.Record) error {
+	n := t.Len()
+	propStart := w * sc.Window
+	propEnd := min(propStart+sc.Window, n)
+	lo := max(propStart-sc.Overlap, 0)
+	hi := min(propEnd+sc.Overlap, n)
+	// The sub-trace shares job pointers with t: engines never mutate jobs,
+	// so concurrent windows can read them race-free.
+	sub := &trace.Trace{Name: t.Name, Procs: t.Procs, Jobs: t.Jobs[lo:hi]}
+	e, err := sim.NewEngine(sub, cfg)
+	if err != nil {
+		return err
+	}
+	need := propEnd - propStart
+	seen, done := 0, 0
+	for seen < need {
+		if !e.Step() {
+			return fmt.Errorf("shard: window %d drained with %d of %d owned jobs unstarted", w, need-seen, need)
+		}
+		recs := e.Records()
+		for ; done < len(recs); done++ {
+			r := recs[done]
+			if i := index[r.Job]; i >= propStart && i < propEnd {
+				out[i] = r
+				seen++
+			}
+		}
+	}
+	return nil
+}
+
+// sequential is the fallback path: a plain engine replay whose records are
+// then reordered into trace order so the Replay contract holds either way.
+func sequential(t *trace.Trace, cfg sim.Config) (*sim.Result, error) {
+	res, err := sim.Run(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	index := jobIndex(t)
+	ordered := make([]metrics.Record, t.Len())
+	for _, r := range res.Records {
+		i, ok := index[r.Job]
+		if !ok {
+			return nil, fmt.Errorf("shard: record for job %d not in trace", r.Job.ID)
+		}
+		ordered[i] = r
+	}
+	return &sim.Result{Records: ordered, Summary: metrics.Summarize(ordered, t.Procs)}, nil
+}
+
+// jobIndex maps each job pointer to its position in the trace. Built once
+// per replay and read-only afterwards, so windows may share it.
+func jobIndex(t *trace.Trace) map[*trace.Job]int {
+	m := make(map[*trace.Job]int, t.Len())
+	for i, j := range t.Jobs {
+		m[j] = i
+	}
+	return m
+}

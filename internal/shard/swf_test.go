@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TestSWFArchiveShardedReplay is the opt-in real-archive path (ROADMAP:
+// "Vendored SWF ingestion"): point RLBF_SWF_DIR at a directory holding
+// Parallel Workloads Archive files (e.g. SDSC-SP2-1998-4.2-cln.swf,
+// HPC2N-2002-2.2-cln.swf) and every *.swf found there is replayed through
+// the sharded pipeline and compared to the sequential replay. Real archives
+// carry deeper backlogs than the synthetic surrogates, so the assertion is
+// the documented aggregate tolerance (mean bsld within 1%, DESIGN.md §7)
+// rather than byte-identity; the per-record mismatch count is logged so a
+// drifting stitch is visible in the test output.
+func TestSWFArchiveShardedReplay(t *testing.T) {
+	dir := os.Getenv("RLBF_SWF_DIR")
+	if dir == "" {
+		t.Skip("RLBF_SWF_DIR not set; skipping real-archive sharded replay")
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.swf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("RLBF_SWF_DIR=%s contains no *.swf files", dir)
+	}
+	const jobs = 10000 // the paper's per-trace horizon (§4.1.2)
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			tr, err := trace.LoadSWFFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr = tr.Head(jobs)
+			mk := func() backfill.Backfiller { return backfill.NewEASY(backfill.RequestTime{}) }
+			seq, err := ReplayWith(tr, sched.FCFS{}, mk, Config{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := ReplayWith(tr, sched.FCFS{}, mk, Config{Window: 2500, Overlap: 1000, MinJobs: 1}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad, exact := recordsEqual(seq.Records, sh.Records)
+			rel := 0.0
+			if seq.Summary.MeanBSLD > 0 {
+				rel = math.Abs(sh.Summary.MeanBSLD-seq.Summary.MeanBSLD) / seq.Summary.MeanBSLD
+			}
+			t.Logf("%s: %d jobs, %d procs: %d/%d records differ, seq bsld %.3f vs sharded %.3f (drift %.3f%%)",
+				tr.Name, tr.Len(), tr.Procs, bad, len(seq.Records),
+				seq.Summary.MeanBSLD, sh.Summary.MeanBSLD, rel*100)
+			if !exact && rel > 0.01 {
+				t.Fatalf("sharded replay of %s drifted %.2f%% from sequential (tolerance 1%%)", tr.Name, rel*100)
+			}
+		})
+	}
+}

@@ -279,16 +279,28 @@ func (e *Engine) StartJob(j *trace.Job) {
 	}
 	e.queue = append(e.queue[:i], e.queue[i+1:]...)
 	e.qscore = append(e.qscore[:i], e.qscore[i+1:]...)
-	run := j.Runtime
-	if j.Request > 0 && run > j.Request {
-		run = j.Request // killed at the wall-time limit
+	run := effectiveRuntime(j)
+	e.insertRunning(j, e.clock)
+	e.events.Push(eventq.Event{Time: e.clock + run, Kind: eventq.Finish, Payload: j})
+	e.records = append(e.records, metrics.Record{Job: j, Start: e.clock, End: e.clock + run})
+}
+
+// effectiveRuntime is the time a started job occupies the machine: its
+// actual runtime, clamped to the wall-time limit it is killed at.
+func effectiveRuntime(j *trace.Job) int64 {
+	if j.Request > 0 && j.Runtime > j.Request {
+		return j.Request // killed at the wall-time limit
 	}
+	return j.Runtime
+}
+
+// insertRunning adds a job to the ID-sorted running set (shared by StartJob
+// and snapshot restore, so the representation cannot drift between them).
+func (e *Engine) insertRunning(j *trace.Job, start int64) {
 	ri := e.runningIndex(j.ID)
 	e.running = append(e.running, backfill.Running{})
 	copy(e.running[ri+1:], e.running[ri:])
-	e.running[ri] = backfill.Running{Job: j, Start: e.clock}
-	e.events.Push(eventq.Event{Time: e.clock + run, Kind: eventq.Finish, Payload: j})
-	e.records = append(e.records, metrics.Record{Job: j, Start: e.clock, End: e.clock + run})
+	e.running[ri] = backfill.Running{Job: j, Start: start}
 }
 
 // QueueLen returns the number of waiting jobs (useful for instrumentation).

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/backfill"
+	"repro/internal/eventq"
+	"repro/internal/trace"
+)
+
+// Snapshot captures the scheduling state of an engine mid-trace: the clock,
+// the waiting queue (in queue order), the running set and the arrival cursor.
+// A snapshot plus the not-yet-admitted suffix of the trace is enough to
+// resume the replay exactly where it stopped (see NewEngineFromSnapshot), so
+// a long replay can be cut into bounded-horizon segments whose concatenated
+// records equal the straight-through run. The sharded replayer
+// (internal/shard) builds on the same invariant: engine state at an instant
+// plus the remaining arrivals fully determines the rest of the schedule.
+type Snapshot struct {
+	// Clock is the simulation time the snapshot was taken at.
+	Clock int64
+	// Queued holds the waiting jobs in the engine's queue order.
+	Queued []*trace.Job
+	// Running holds the executing jobs (ID-sorted, as Engine.Running
+	// maintains them) with their recorded start times.
+	Running []backfill.Running
+	// NextArrival is the index into the original trace's job list of the
+	// first job not yet admitted; the caller resumes with a trace containing
+	// Jobs[NextArrival:].
+	NextArrival int
+}
+
+// Snapshot captures the engine's current scheduling state. The queue and
+// running slices are copied, but the jobs themselves are shared (the engine
+// never mutates jobs), so a snapshot is cheap even with a deep backlog.
+func (e *Engine) Snapshot() Snapshot {
+	return Snapshot{
+		Clock:       e.clock,
+		Queued:      append([]*trace.Job(nil), e.queue...),
+		Running:     append([]backfill.Running(nil), e.running...),
+		NextArrival: e.nextArr,
+	}
+}
+
+// NewEngineFromSnapshot prepares an engine that resumes from a mid-trace
+// snapshot: the cluster, running set, finish events and waiting queue are
+// rebuilt from snap, and t supplies the remaining arrivals (the suffix of
+// the original trace from snap.NextArrival on). Records are emitted only for
+// jobs started after the resume — jobs already running at the snapshot were
+// recorded by the segment that started them.
+func NewEngineFromSnapshot(t *trace.Trace, cfg Config, snap Snapshot) (*Engine, error) {
+	e, err := NewEngine(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.clock = snap.Clock
+	for _, r := range snap.Running {
+		j := r.Job
+		if err := e.cluster.Alloc(j.ID, j.Procs); err != nil {
+			return nil, fmt.Errorf("sim: restoring running job %d: %v", j.ID, err)
+		}
+		end := r.Start + effectiveRuntime(j)
+		if end < snap.Clock {
+			return nil, fmt.Errorf("sim: running job %d finished at %d before snapshot clock %d", j.ID, end, snap.Clock)
+		}
+		e.insertRunning(j, r.Start)
+		e.events.Push(eventq.Event{Time: end, Kind: eventq.Finish, Payload: j})
+	}
+	// Re-inserting in snapshot (queue) order reproduces the original queue
+	// exactly: binary insertion places equal-score jobs after their existing
+	// equals, and time-varying queues are re-sorted every round anyway.
+	for _, j := range snap.Queued {
+		e.enqueue(j)
+	}
+	return e, nil
+}
+
+// RunUntil is the bounded-horizon replay entry point: it processes event
+// batches while the next pending timestamp is <= horizon, then stops. It
+// reports whether any events remain (false = the replay is complete). After
+// RunUntil returns true, Snapshot captures a state from which
+// NewEngineFromSnapshot continues the replay exactly.
+func (e *Engine) RunUntil(horizon int64) bool {
+	for {
+		t, ok := e.nextTime()
+		if !ok {
+			return false
+		}
+		if t > horizon {
+			return true
+		}
+		e.Step()
+	}
+}
