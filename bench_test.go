@@ -361,6 +361,38 @@ func BenchmarkPPOUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainEpoch measures one full PPO training epoch — rollouts plus
+// policy/value update — at the paper's observation shape (MaxObs 128) on a
+// small SDSC-SP2 surrogate. A fresh trainer is built per iteration (outside
+// the timer) so every iteration does identical work: same seed, same epoch-0
+// episode starts, same decision count. This is the end-to-end number the
+// batched GEMM kernel targets (EXPERIMENTS.md records before/after).
+func BenchmarkTrainEpoch(b *testing.B) {
+	tr := trace.SyntheticSDSCSP2(600, 4)
+	cfg := core.QuickTrainConfig()
+	cfg.Obs.MaxObs = 128
+	cfg.TrajPerEpoch = 4
+	cfg.EpisodeLen = 100
+	cfg.PPO.PiIters = 10
+	cfg.PPO.VIters = 10
+	cfg.PPO.MiniBatch = 0
+	cfg.Seed = 17
+	cfg.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		trainer, err := core.NewTrainer(tr.Clone(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := trainer.RunEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLublinGenerate measures workload-model throughput (1000 jobs per
 // iteration).
 func BenchmarkLublinGenerate(b *testing.B) {

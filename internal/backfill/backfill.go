@@ -76,12 +76,28 @@ type jobEnd struct {
 	procs int
 }
 
+// jobEnds orders by (end, id) — a total order (IDs are unique), so any sort
+// algorithm produces the same permutation. The pointer-receiver sort.Sort
+// form keeps the per-reservation sort allocation-free (sort.Slice's closure
+// escapes on every call).
+type jobEnds []jobEnd
+
+func (s *jobEnds) Len() int      { return len(*s) }
+func (s *jobEnds) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+func (s *jobEnds) Less(i, j int) bool {
+	a, b := (*s)[i], (*s)[j]
+	if a.end != b.end {
+		return a.end < b.end
+	}
+	return a.id < b.id
+}
+
 // ReservationScratch holds the reusable decoration buffer for reservation
 // computations. Backfillers that compute reservations on every round (EASY,
 // the RL agent) should embed one to keep the hot path allocation-free. The
 // zero value is ready to use; a scratch is not goroutine-safe.
 type ReservationScratch struct {
-	ends []jobEnd
+	ends jobEnds
 }
 
 // Compute derives the head job's reservation from the running jobs'
@@ -97,18 +113,13 @@ func (s *ReservationScratch) Compute(st State, head *trace.Job, est Estimator) R
 	if cap(s.ends) < len(running) {
 		s.ends = make([]jobEnd, len(running))
 	}
-	ends := s.ends[:len(running)]
+	s.ends = s.ends[:len(running)]
 	for i, r := range running {
-		ends[i] = jobEnd{end: r.Start + est.Estimate(r.Job), id: r.Job.ID, procs: r.Job.Procs}
+		s.ends[i] = jobEnd{end: r.Start + est.Estimate(r.Job), id: r.Job.ID, procs: r.Job.Procs}
 	}
-	sort.Slice(ends, func(a, b int) bool {
-		if ends[a].end != ends[b].end {
-			return ends[a].end < ends[b].end
-		}
-		return ends[a].id < ends[b].id
-	})
+	sort.Sort(&s.ends)
 	avail := free
-	for _, r := range ends {
+	for _, r := range s.ends {
 		avail += r.procs
 		if avail >= head.Procs {
 			end := r.end

@@ -30,9 +30,19 @@ type Agent struct {
 	// rollout state (nil outside training)
 	rec *recorder
 
-	pCache *nn.Cache
-	vCache *nn.Cache
+	// pBatch scores all of a decision's candidate rows with one batched
+	// kernel-network forward (one GEMM per layer) instead of a MulVec chain
+	// per row; vBatch (allocated lazily, training only) batches the critic
+	// over a whole episode's recorded steps.
+	pBatch *nn.BatchCache
+	vBatch *nn.BatchCache
 	scores []float64
+	probs  []float64
+	gather []int
+	// obs and remaining are reused across decisions so the per-decision
+	// encode allocates nothing (BuildObservationInto).
+	obs       *Observation
+	remaining []*trace.Job
 	// res is the reservation scratch: the agent recomputes the head job's
 	// reservation twice per decision, on the simulator's hottest path.
 	res backfill.ReservationScratch
@@ -89,9 +99,12 @@ func NewAgent(obs ObsConfig, spec NetworkSpec, est backfill.Estimator, seed uint
 }
 
 func (a *Agent) initBuffers() {
-	a.pCache = nn.NewCache(a.Policy)
-	a.vCache = nn.NewCache(a.Value)
-	a.scores = make([]float64, a.Obs.Rows())
+	rows := a.Obs.Rows()
+	a.pBatch = nn.NewBatchCache(a.Policy, rows)
+	a.scores = make([]float64, rows)
+	a.probs = make([]float64, rows)
+	a.gather = make([]int, rows)
+	a.obs = NewObservation(a.Obs)
 }
 
 // CloneForRollout returns an agent sharing the (read-only) networks but with
@@ -106,12 +119,22 @@ func (a *Agent) CloneForRollout(rng *stats.RNG, violationPenalty float64) *Agent
 // Name implements backfill.Backfiller.
 func (a *Agent) Name() string { return "RLBF" }
 
+// Fresh implements backfill.Cloneable: a greedy evaluation clone sharing the
+// read-only networks with its own scratch, so parallel eval sequences and
+// sharded replay windows never race.
+func (a *Agent) Fresh() backfill.Backfiller {
+	c := &Agent{Policy: a.Policy, Value: a.Value, Obs: a.Obs, Est: a.Est}
+	c.initBuffers()
+	return c
+}
+
 // Backfill implements backfill.Backfiller.
 func (a *Agent) Backfill(st backfill.State, head *trace.Job, queue []*trace.Job) {
-	remaining := append([]*trace.Job(nil), queue...)
+	a.remaining = append(a.remaining[:0], queue...)
+	remaining := a.remaining
 	for {
 		res := a.res.Compute(st, head, a.Est)
-		obs := BuildObservation(a.Obs, st, head, remaining, a.Est, res)
+		obs := BuildObservationInto(a.Obs, st, head, remaining, a.Est, res, a.obs)
 		if obs.Selectable == 0 {
 			return // nothing can start now; no decision to make
 		}
@@ -131,13 +154,15 @@ func (a *Agent) Backfill(st backfill.State, head *trace.Job, queue []*trace.Job)
 			for i := range obs.Rows {
 				rows[i] = flat[i*JobFeatures : (i+1)*JobFeatures]
 			}
+			// Value is filled in one batched critic forward over the whole
+			// episode when the trajectory is taken: the weights do not change
+			// mid-rollout, so deferring is bit-identical to scoring here.
 			a.rec.steps = append(a.rec.steps, ppo.Step{
 				Obs:     rows,
 				FlatObs: flat,
 				Mask:    append([]bool(nil), obs.Mask...),
 				Action:  action,
 				LogP:    nn.LogProb(probs, action),
-				Value:   a.Value.Forward(obs.Flat, a.vCache)[0],
 			})
 			step = &a.rec.steps[len(a.rec.steps)-1]
 		}
@@ -169,24 +194,54 @@ func (a *Agent) Backfill(st backfill.State, head *trace.Job, queue []*trace.Job)
 	}
 }
 
+// distribution scores every selectable candidate row with one batched
+// kernel-network forward and returns the masked-softmax action distribution
+// (a view into the agent's scratch; valid until the next call). Scores are
+// bit-identical to the per-row Forward loop this replaces
+// (nn.TestBatchedKernelDifferential), and the call is allocation-free.
 func (a *Agent) distribution(obs *Observation) []float64 {
-	for i, row := range obs.Rows {
-		if !obs.Mask[i] {
-			a.scores[i] = 0
-			continue
-		}
-		a.scores[i] = a.Policy.Forward(row, a.pCache)[0]
+	n := len(obs.Rows)
+	probs, _ := a.Policy.ScoreMasked(obs.Rows, obs.Mask, a.pBatch, a.gather, a.scores[:n], a.probs[:n])
+	return probs
+}
+
+// valueBlockRows bounds the critic batch when filling step values: at the
+// paper's 1290-wide flat observation one block is ~0.7 MB of cache.
+const valueBlockRows = 64
+
+// estimateValues fills Step.Value for every recorded step of an episode with
+// one batched critic forward per valueBlockRows block — replacing the
+// per-decision single-row critic evaluation, the most expensive network call
+// of the rollout path. The critic's weights are frozen during a rollout, so
+// the deferred values are bit-identical to scoring at decision time.
+func (a *Agent) estimateValues(steps []ppo.Step) {
+	if a.vBatch == nil {
+		a.vBatch = nn.NewBatchCache(a.Value, valueBlockRows)
 	}
-	return nn.MaskedSoftmax(a.scores[:len(obs.Rows)], obs.Mask)
+	for lo := 0; lo < len(steps); lo += valueBlockRows {
+		hi := lo + valueBlockRows
+		if hi > len(steps) {
+			hi = len(steps)
+		}
+		in := a.vBatch.Input(hi - lo)
+		for r := lo; r < hi; r++ {
+			copy(in.Row(r-lo), steps[r].FlatObs)
+		}
+		out := a.Value.ForwardBatch(in, a.vBatch)
+		for r := lo; r < hi; r++ {
+			steps[r].Value = out.At(r-lo, 0)
+		}
+	}
 }
 
 // takeTrajectory finishes a training episode: the terminal reward is added
-// to the last step and the recorded steps are returned (empty when no
-// backfill decision occurred).
+// to the last step, the critic values are filled in batch, and the recorded
+// steps are returned (empty when no backfill decision occurred).
 func (a *Agent) takeTrajectory(terminalReward float64) (ppo.Trajectory, int) {
 	steps := a.rec.steps
 	if len(steps) > 0 {
 		steps[len(steps)-1].Reward += terminalReward
+		a.estimateValues(steps)
 	}
 	v := a.rec.violations
 	a.rec.steps = nil

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/backfill"
+	"repro/internal/trace"
+)
+
+// allocFixture builds a decision point with a part-filled queue: some
+// selectable rows, some masked, some padding — the shape every per-decision
+// hot-path call sees.
+func allocFixture() (ObsConfig, *fakeState, *trace.Job, []*trace.Job, backfill.Estimator, backfill.Reservation) {
+	st := &fakeState{now: 1000, free: 8, total: 32,
+		running: []backfill.Running{{Job: job(1, 0, 5000, 5000, 24), Start: 0}}}
+	head := job(2, 10, 100, 100, 32)
+	var queue []*trace.Job
+	for i := 0; i < 24; i++ {
+		procs := 2
+		if i%3 == 0 {
+			procs = 16 // masked: wider than the free processors
+		}
+		queue = append(queue, job(10+i, int64(500-7*i), 60, 90, procs))
+	}
+	est := backfill.RequestTime{}
+	res := backfill.ComputeReservation(st, head, est)
+	return ObsConfig{MaxObs: 16, SkipAction: true}, st, head, queue, est, res
+}
+
+// TestBuildObservationIntoNoAllocs guards the reusable-buffer encode: after
+// the first call the per-decision observation build is allocation-free (the
+// make churn of the original BuildObservation is gone).
+func TestBuildObservationIntoNoAllocs(t *testing.T) {
+	cfg, st, head, queue, est, res := allocFixture()
+	o := NewObservation(cfg)
+	BuildObservationInto(cfg, st, head, queue, est, res, o) // warm the sort scratch
+	if avg := testing.AllocsPerRun(200, func() {
+		BuildObservationInto(cfg, st, head, queue, est, res, o)
+	}); avg != 0 {
+		t.Fatalf("BuildObservationInto allocates %v per run, want 0", avg)
+	}
+}
+
+// TestBuildObservationIntoMatchesFresh pins that the reused path encodes
+// exactly what a fresh BuildObservation does, including after a previous,
+// differently-shaped decision left stale state in the buffers.
+func TestBuildObservationIntoMatchesFresh(t *testing.T) {
+	cfg, st, head, queue, est, res := allocFixture()
+	o := NewObservation(cfg)
+	// dirty the buffers with a full-queue decision first
+	BuildObservationInto(cfg, st, head, queue, est, res, o)
+	// then rebuild with a shorter queue: stale rows must read as padding
+	short := queue[:3]
+	got := BuildObservationInto(cfg, st, head, short, est, res, o)
+	want := BuildObservation(cfg, st, head, short, est, res)
+	if got.Selectable != want.Selectable || got.SkipRow != want.SkipRow {
+		t.Fatalf("selectable/skip differ: got %d/%d want %d/%d",
+			got.Selectable, got.SkipRow, want.Selectable, want.SkipRow)
+	}
+	for i := range want.Flat {
+		if got.Flat[i] != want.Flat[i] {
+			t.Fatalf("flat[%d] = %v, want %v", i, got.Flat[i], want.Flat[i])
+		}
+	}
+	for i := range want.Mask {
+		if got.Mask[i] != want.Mask[i] || got.Jobs[i] != want.Jobs[i] {
+			t.Fatalf("mask/jobs differ at row %d", i)
+		}
+	}
+}
+
+// TestDistributionNoAllocs guards the evaluation-path decision: batched
+// scoring plus masked softmax over reused scratch allocates nothing.
+func TestDistributionNoAllocs(t *testing.T) {
+	cfg, st, head, queue, est, res := allocFixture()
+	a := NewAgent(cfg, NetworkSpec{}, est, 7)
+	obs := BuildObservation(cfg, st, head, queue, est, res)
+	if obs.Selectable == 0 {
+		t.Fatal("fixture produced no selectable rows")
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		a.distribution(obs)
+	}); avg != 0 {
+		t.Fatalf("distribution allocates %v per run, want 0", avg)
+	}
+}
+
+// TestAgentEvalBackfillNoAllocs covers the whole greedy decision loop — the
+// eval path Backfill: reservation, observation encode, batched scoring,
+// argmax — which must not allocate once the scratch is warm. The fake state
+// is reset (not rebuilt) between runs so only the agent's own allocations
+// are counted.
+func TestAgentEvalBackfillNoAllocs(t *testing.T) {
+	cfg, _, head, queue, est, _ := allocFixture()
+	a := NewAgent(cfg, NetworkSpec{}, est, 7)
+	st := &fakeState{
+		running: make([]backfill.Running, 1, 16),
+		started: make([]*trace.Job, 0, 16),
+	}
+	runner := job(1, 0, 5000, 5000, 24)
+	reset := func() {
+		st.now, st.free, st.total = 1000, 8, 32
+		st.running = st.running[:1]
+		st.running[0] = backfill.Running{Job: runner, Start: 0}
+		st.started = st.started[:0]
+	}
+	reset()
+	a.Backfill(st, head, queue) // warm remaining/reservation scratch
+	if avg := testing.AllocsPerRun(100, func() {
+		reset()
+		a.Backfill(st, head, queue)
+	}); avg != 0 {
+		t.Fatalf("eval Backfill allocates %v per run, want 0", avg)
+	}
+}

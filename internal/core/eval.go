@@ -151,9 +151,5 @@ func EvaluateStrategy(t *trace.Trace, base sched.Policy, bf backfill.Backfiller,
 // different trace — that is exactly the paper's generality experiment
 // (Table 5).
 func EvaluateAgent(a *Agent, t *trace.Trace, base sched.Policy, cfg EvalConfig) (float64, []float64, error) {
-	return runSequences(t, base, cfg, func() backfill.Backfiller {
-		greedy := &Agent{Policy: a.Policy, Value: a.Value, Obs: a.Obs, Est: a.Est}
-		greedy.initBuffers()
-		return greedy
-	})
+	return runSequences(t, base, cfg, a.Fresh)
 }

@@ -73,7 +73,10 @@ func (c ObsConfig) Rows() int { return c.withDefaults().MaxObs + 1 }
 // FlatDim returns the flattened observation length for the value network.
 func (c ObsConfig) FlatDim() int { return c.Rows() * JobFeatures }
 
-// Observation is one decision point's encoded state.
+// Observation is one decision point's encoded state. Observations may be
+// freshly built (BuildObservation) or reused across decisions
+// (BuildObservationInto), which makes the per-decision encode allocation-free
+// on the simulator's hottest RL path.
 type Observation struct {
 	// Rows has Rows() feature vectors (padded with zeros).
 	Rows [][]float64
@@ -89,37 +92,30 @@ type Observation struct {
 	// Selectable counts the selectable job rows (excluding the skip slot);
 	// when it is zero no backfill decision is needed.
 	Selectable int
+
+	// sortBuf is the scratch for the FCFS cut; the pointer-receiver sorter
+	// keeps sort.Stable allocation-free (a closure-based sort.SliceStable
+	// escapes per call).
+	sortBuf jobsBySubmit
 }
 
-// BuildObservation encodes the backfilling state per §3.2-3.3: head plus
-// waiting jobs sorted by submission time (head forced in, longest-waiting
-// kept when cutting to MaxObs), one feature vector per job with the free
-// resource fraction appended, and a mask that excludes the head job, jobs
-// that cannot start now, and padding.
-func BuildObservation(cfg ObsConfig, st backfill.State, head *trace.Job, queue []*trace.Job,
-	est backfill.Estimator, res backfill.Reservation) *Observation {
+// jobsBySubmit sorts by (Submit, ID): FCFS order for the MaxObs cut.
+type jobsBySubmit []*trace.Job
 
-	cfg = cfg.withDefaults()
-	now := st.Now()
-	free := st.FreeProcs()
-	total := st.TotalProcs()
-	freeFrac := float64(free) / float64(total)
-
-	// head + queue, sorted by submit (FCFS order for cutting, §3.3.2), with
-	// the head always retained.
-	jobs := make([]*trace.Job, 0, len(queue)+1)
-	jobs = append(jobs, queue...)
-	sort.SliceStable(jobs, func(a, b int) bool {
-		if jobs[a].Submit != jobs[b].Submit {
-			return jobs[a].Submit < jobs[b].Submit
-		}
-		return jobs[a].ID < jobs[b].ID
-	})
-	if len(jobs) > cfg.MaxObs-1 {
-		jobs = jobs[:cfg.MaxObs-1]
+func (s *jobsBySubmit) Len() int      { return len(*s) }
+func (s *jobsBySubmit) Swap(i, j int) { (*s)[i], (*s)[j] = (*s)[j], (*s)[i] }
+func (s *jobsBySubmit) Less(i, j int) bool {
+	a, b := (*s)[i], (*s)[j]
+	if a.Submit != b.Submit {
+		return a.Submit < b.Submit
 	}
-	jobs = append([]*trace.Job{head}, jobs...)
+	return a.ID < b.ID
+}
 
+// NewObservation allocates an observation shaped for cfg, ready for
+// BuildObservationInto.
+func NewObservation(cfg ObsConfig) *Observation {
+	cfg = cfg.withDefaults()
 	o := &Observation{
 		Rows:    make([][]float64, cfg.Rows()),
 		Mask:    make([]bool, cfg.Rows()),
@@ -130,10 +126,60 @@ func BuildObservation(cfg ObsConfig, st backfill.State, head *trace.Job, queue [
 	for i := range o.Rows {
 		o.Rows[i] = o.Flat[i*JobFeatures : (i+1)*JobFeatures]
 	}
+	return o
+}
+
+// BuildObservation encodes the backfilling state per §3.2-3.3: head plus
+// waiting jobs sorted by submission time (head forced in, longest-waiting
+// kept when cutting to MaxObs), one feature vector per job with the free
+// resource fraction appended, and a mask that excludes the head job, jobs
+// that cannot start now, and padding.
+func BuildObservation(cfg ObsConfig, st backfill.State, head *trace.Job, queue []*trace.Job,
+	est backfill.Estimator, res backfill.Reservation) *Observation {
+	return BuildObservationInto(cfg, st, head, queue, est, res, NewObservation(cfg))
+}
+
+// BuildObservationInto is BuildObservation writing into a reused observation
+// (from NewObservation with the same config), producing identical encodings
+// with zero allocations per decision.
+func BuildObservationInto(cfg ObsConfig, st backfill.State, head *trace.Job, queue []*trace.Job,
+	est backfill.Estimator, res backfill.Reservation, o *Observation) *Observation {
+
+	cfg = cfg.withDefaults()
+	if len(o.Rows) != cfg.Rows() {
+		panic("core: observation shape does not match the config")
+	}
+	now := st.Now()
+	free := st.FreeProcs()
+	total := st.TotalProcs()
+	freeFrac := float64(free) / float64(total)
+
+	// reset the reused buffers: padding rows must read as zero
+	for i := range o.Flat {
+		o.Flat[i] = 0
+	}
+	for i := range o.Mask {
+		o.Mask[i] = false
+		o.Jobs[i] = nil
+	}
+	o.Selectable = 0
+
+	// queue sorted by submit (FCFS order for cutting, §3.3.2); the head is
+	// always retained in row 0.
+	o.sortBuf = append(o.sortBuf[:0], queue...)
+	sort.Stable(&o.sortBuf)
+	jobs := []*trace.Job(o.sortBuf)
+	if len(jobs) > cfg.MaxObs-1 {
+		jobs = jobs[:cfg.MaxObs-1]
+	}
 
 	window := float64(res.Shadow - now) // the head's backfill window (Figure 2)
 	safeCount := 0
-	for i, j := range jobs {
+	for i := 0; i <= len(jobs); i++ {
+		j := head
+		if i > 0 {
+			j = jobs[i-1]
+		}
 		row := o.Rows[i]
 		o.Jobs[i] = j
 		wait := float64(now - j.Submit)

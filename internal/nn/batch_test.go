@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// randSizes draws a random MLP shape: input/output 1..12, 0..3 hidden layers.
+func randSizes(r *stats.RNG) []int {
+	sizes := []int{r.Intn(12) + 1}
+	for h := r.Intn(4); h > 0; h-- {
+		sizes = append(sizes, r.Intn(12)+1)
+	}
+	return append(sizes, r.Intn(12)+1)
+}
+
+// TestBatchedKernelDifferential pins the tentpole guarantee of the batched
+// kernels: over fuzzed shapes, activations and batch sizes, ForwardBatch and
+// BackwardBatch are bit-identical — outputs, parameter gradients AND input
+// gradients — to running the per-row Forward/Backward loop in batch-row
+// order. Inputs include exact zeros so the zero-coefficient paths (MulVecT's
+// skip vs MulMat's blocked adds) are exercised.
+func TestBatchedKernelDifferential(t *testing.T) {
+	for _, act := range []Activation{ReLU, Tanh, Identity} {
+		for seed := uint64(1); seed <= 25; seed++ {
+			r := stats.NewRNG(seed*31 + uint64(len(act)))
+			sizes := randSizes(r)
+			m := NewMLP(sizes, act, r)
+			n := r.Intn(17) + 1 // batch rows, covers the 4-blocked and remainder paths
+
+			x := NewMat(n, sizes[0])
+			gradOut := NewMat(n, sizes[len(sizes)-1])
+			for i := range x.Data {
+				if r.Bool(0.15) {
+					continue // leave exact zeros in the batch
+				}
+				x.Data[i] = r.Normal(0, 1)
+			}
+			for i := range gradOut.Data {
+				if r.Bool(0.25) {
+					continue // zero gradient rows/elements must also match
+				}
+				gradOut.Data[i] = r.Normal(0, 1)
+			}
+
+			// sequential reference: per-row Forward/Backward in row order
+			cache := NewCache(m)
+			seqG := NewGrads(m)
+			seqOut := NewMat(n, gradOut.Cols)
+			seqIn := NewMat(n, sizes[0])
+			for row := 0; row < n; row++ {
+				out := m.Forward(x.Row(row), cache)
+				copy(seqOut.Row(row), out)
+				gin := m.Backward(cache, gradOut.Row(row), seqG)
+				copy(seqIn.Row(row), gin)
+			}
+
+			// batched path, assembled in-place via Input
+			bc := NewBatchCache(m, n+3) // capacity above n: reuse must not leak rows
+			in := bc.Input(n)
+			copy(in.Data[:n*in.Cols], x.Data)
+			batchOut := m.ForwardBatch(in, bc)
+			batchG := NewGrads(m)
+			batchIn := m.BackwardBatch(bc, gradOut, batchG)
+
+			for i := range seqOut.Data {
+				if batchOut.Data[i] != seqOut.Data[i] {
+					t.Fatalf("act=%s seed=%d sizes=%v n=%d: output[%d] %v != %v",
+						act, seed, sizes, n, i, batchOut.Data[i], seqOut.Data[i])
+				}
+			}
+			for i := range seqIn.Data {
+				if batchIn.Data[i] != seqIn.Data[i] {
+					t.Fatalf("act=%s seed=%d sizes=%v n=%d: input grad[%d] %v != %v",
+						act, seed, sizes, n, i, batchIn.Data[i], seqIn.Data[i])
+				}
+			}
+			for l := range seqG.W {
+				for i := range seqG.W[l].Data {
+					if batchG.W[l].Data[i] != seqG.W[l].Data[i] {
+						t.Fatalf("act=%s seed=%d sizes=%v n=%d: dW[%d][%d] %v != %v",
+							act, seed, sizes, n, l, i, batchG.W[l].Data[i], seqG.W[l].Data[i])
+					}
+				}
+				for i := range seqG.B[l] {
+					if batchG.B[l][i] != seqG.B[l][i] {
+						t.Fatalf("act=%s seed=%d sizes=%v n=%d: dB[%d][%d] %v != %v",
+							act, seed, sizes, n, l, i, batchG.B[l][i], seqG.B[l][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedGradSplitInvariant pins the accumulation-order contract that
+// lets callers block large batches: accumulating one 13-row BackwardBatch
+// into g is bit-identical to accumulating the same rows as 4+4+4+1 blocks.
+func TestBatchedGradSplitInvariant(t *testing.T) {
+	r := stats.NewRNG(77)
+	m := NewMLP([]int{6, 9, 3}, Tanh, r)
+	const n = 13
+	x := NewMat(n, 6)
+	gradOut := NewMat(n, 3)
+	for i := range x.Data {
+		x.Data[i] = r.Normal(0, 1)
+	}
+	for i := range gradOut.Data {
+		gradOut.Data[i] = r.Normal(0, 1)
+	}
+
+	bc := NewBatchCache(m, n)
+	whole := NewGrads(m)
+	in := bc.Input(n)
+	copy(in.Data, x.Data)
+	m.ForwardBatch(in, bc)
+	m.BackwardBatch(bc, gradOut, whole)
+
+	split := NewGrads(m)
+	for lo := 0; lo < n; lo += 4 {
+		hi := lo + 4
+		if hi > n {
+			hi = n
+		}
+		k := hi - lo
+		in := bc.Input(k)
+		copy(in.Data[:k*6], x.Data[lo*6:hi*6])
+		m.ForwardBatch(in, bc)
+		part := &Mat{Rows: k, Cols: 3, Data: gradOut.Data[lo*3 : hi*3]}
+		m.BackwardBatch(bc, part, split)
+	}
+	for l := range whole.W {
+		for i := range whole.W[l].Data {
+			if whole.W[l].Data[i] != split.W[l].Data[i] {
+				t.Fatalf("dW[%d][%d]: whole %v != split %v", l, i, whole.W[l].Data[i], split.W[l].Data[i])
+			}
+		}
+		for i := range whole.B[l] {
+			if whole.B[l][i] != split.B[l][i] {
+				t.Fatalf("dB[%d][%d]: whole %v != split %v", l, i, whole.B[l][i], split.B[l][i])
+			}
+		}
+	}
+}
+
+func TestMaskedSoftmaxIntoMatchesAllocating(t *testing.T) {
+	r := stats.NewRNG(5)
+	scores := make([]float64, 9)
+	mask := make([]bool, 9)
+	probs := make([]float64, 9)
+	for trial := 0; trial < 50; trial++ {
+		any := false
+		for i := range scores {
+			scores[i] = r.Normal(0, 3)
+			mask[i] = r.Bool(0.6)
+			any = any || mask[i]
+			probs[i] = r.Float64() // stale scratch must be fully overwritten
+		}
+		if !any {
+			mask[0] = true
+		}
+		want := MaskedSoftmax(scores, mask)
+		got := MaskedSoftmaxInto(scores, mask, probs)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: probs[%d] %v != %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSoftmaxPolicyGradMatchesComposition pins the fused helper against the
+// two-pass SoftmaxLogProbGrad + SoftmaxEntropyGrad composition it replaces,
+// on the selectable rows that reach the backward pass.
+func TestSoftmaxPolicyGradMatchesComposition(t *testing.T) {
+	r := stats.NewRNG(8)
+	const n = 7
+	scores := make([]float64, n)
+	mask := make([]bool, n)
+	lg := make([]float64, n)
+	eg := make([]float64, n)
+	fused := make([]float64, n)
+	for trial := 0; trial < 60; trial++ {
+		a := -1
+		for i := range scores {
+			scores[i] = r.Normal(0, 2)
+			mask[i] = r.Bool(0.7)
+			if mask[i] && a < 0 {
+				a = i
+			}
+		}
+		if a < 0 {
+			mask[0], a = true, 0
+		}
+		probs := MaskedSoftmax(scores, mask)
+		dlogp := r.Normal(0, 1)
+		for _, coef := range []float64{0, 0.01} {
+			SoftmaxLogProbGrad(probs, mask, a, lg)
+			SoftmaxEntropyGrad(probs, mask, eg)
+			SoftmaxPolicyGrad(probs, mask, a, dlogp, coef, fused)
+			for i := range probs {
+				if !mask[i] {
+					continue // masked rows never reach the backward pass
+				}
+				want := dlogp*lg[i] - coef*eg[i]
+				if coef == 0 {
+					want = lg[i] * dlogp
+				}
+				if fused[i] != want {
+					t.Fatalf("trial %d coef=%v: grad[%d] %v != %v", trial, coef, i, fused[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchNoAllocs guards the batched forward hot path: with the
+// cache assembled in place, a ForwardBatch costs zero allocations.
+func TestForwardBatchNoAllocs(t *testing.T) {
+	r := stats.NewRNG(3)
+	m := NewMLP([]int{10, 32, 16, 8, 1}, ReLU, r)
+	bc := NewBatchCache(m, 129)
+	in := bc.Input(129)
+	for i := range in.Data {
+		in.Data[i] = r.Float64()
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		m.ForwardBatch(in, bc)
+	}); avg != 0 {
+		t.Fatalf("ForwardBatch allocates %v per run, want 0", avg)
+	}
+}
+
+func TestMaskedSoftmaxIntoNoAllocs(t *testing.T) {
+	r := stats.NewRNG(4)
+	scores := make([]float64, 129)
+	mask := make([]bool, 129)
+	probs := make([]float64, 129)
+	for i := range scores {
+		scores[i] = r.Normal(0, 1)
+		mask[i] = i%3 != 0
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		MaskedSoftmaxInto(scores, mask, probs)
+	}); avg != 0 {
+		t.Fatalf("MaskedSoftmaxInto allocates %v per run, want 0", avg)
+	}
+}
+
+func TestBatchCacheRejectsOverCapacity(t *testing.T) {
+	r := stats.NewRNG(6)
+	m := NewMLP([]int{3, 2}, ReLU, r)
+	bc := NewBatchCache(m, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Input beyond capacity did not panic")
+		}
+	}()
+	bc.Input(5)
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// BenchmarkPolicyBatchVsRow measures scoring one full backfill decision at
+// the paper-scale observation shape — 129 candidate rows of 10 features
+// through the 32-16-8 kernel network — the per-row way (one Forward per
+// candidate, the pre-batching hot path of Agent.distribution and
+// ppo.policyStep) versus one ForwardBatch. Outputs are bit-identical
+// (TestBatchedKernelDifferential); the ratio is the decision-scoring speedup.
+func BenchmarkPolicyBatchVsRow(b *testing.B) {
+	const rows, feat = 129, 10
+	rng := stats.NewRNG(1)
+	m := NewMLP([]int{feat, 32, 16, 8, 1}, ReLU, rng)
+	x := NewMat(rows, feat)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	scores := make([]float64, rows)
+
+	b.Run("row", func(b *testing.B) {
+		cache := NewCache(m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rows; r++ {
+				scores[r] = m.Forward(x.Row(r), cache)[0]
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		bc := NewBatchCache(m, rows)
+		in := bc.Input(rows)
+		copy(in.Data, x.Data)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := m.ForwardBatch(in, bc)
+			for r := 0; r < rows; r++ {
+				scores[r] = out.At(r, 0)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchBackward measures the batched backward at the same shape
+// against the per-row loop, including the per-row cache the sequential path
+// has to keep per candidate.
+func BenchmarkBatchBackward(b *testing.B) {
+	const rows, feat = 129, 10
+	rng := stats.NewRNG(2)
+	m := NewMLP([]int{feat, 32, 16, 8, 1}, ReLU, rng)
+	x := NewMat(rows, feat)
+	gradOut := NewMat(rows, 1)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	for i := range gradOut.Data {
+		gradOut.Data[i] = rng.Normal(0, 1)
+	}
+
+	b.Run("row", func(b *testing.B) {
+		caches := make([]*Cache, rows)
+		for i := range caches {
+			caches[i] = NewCache(m)
+		}
+		g := NewGrads(m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Zero()
+			for r := 0; r < rows; r++ {
+				m.Forward(x.Row(r), caches[r])
+			}
+			for r := 0; r < rows; r++ {
+				m.Backward(caches[r], gradOut.Row(r), g)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		bc := NewBatchCache(m, rows)
+		in := bc.Input(rows)
+		copy(in.Data, x.Data)
+		g := NewGrads(m)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Zero()
+			m.ForwardBatch(in, bc)
+			m.BackwardBatch(bc, gradOut, g)
+		}
+	})
+}

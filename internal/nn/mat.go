@@ -91,6 +91,138 @@ func (m *Mat) MulVecT(x, y []float64) {
 	}
 }
 
+// MulMatT computes Y = X·Mᵀ, i.e. Y.Row(r) = M*X.Row(r) for every batch row
+// (X is batch x Cols, Y batch x Rows): the batched forward of a linear layer.
+//
+// Bit-identity contract: every output element is a dot product accumulated
+// over the input dimension in ascending index order — exactly MulVec's
+// summation order — so MulMatT(X)[r] is bit-identical to MulVec(X.Row(r)).
+// The kernel is blocked over four batch rows that share one scan of each
+// weight row: the four accumulators are independent dependency chains, which
+// is where the speedup over row-at-a-time MulVec comes from (a single dot
+// product is serial in its adds and therefore FP-latency-bound).
+func (m *Mat) MulMatT(x, y *Mat) {
+	if x.Cols != m.Cols || y.Cols != m.Rows || x.Rows != y.Rows {
+		panic("nn: MulMatT shape mismatch")
+	}
+	n, out := x.Rows, m.Rows
+	r := 0
+	for ; r+4 <= n; r += 4 {
+		x0 := x.Data[r*x.Cols : (r+1)*x.Cols]
+		x1 := x.Data[(r+1)*x.Cols : (r+2)*x.Cols]
+		x2 := x.Data[(r+2)*x.Cols : (r+3)*x.Cols]
+		x3 := x.Data[(r+3)*x.Cols : (r+4)*x.Cols]
+		for k := 0; k < out; k++ {
+			row := m.Data[k*m.Cols : (k+1)*m.Cols]
+			var s0, s1, s2, s3 float64
+			for j, w := range row {
+				s0 += w * x0[j]
+				s1 += w * x1[j]
+				s2 += w * x2[j]
+				s3 += w * x3[j]
+			}
+			y.Data[r*y.Cols+k] = s0
+			y.Data[(r+1)*y.Cols+k] = s1
+			y.Data[(r+2)*y.Cols+k] = s2
+			y.Data[(r+3)*y.Cols+k] = s3
+		}
+	}
+	for ; r < n; r++ {
+		m.MulVec(x.Row(r), y.Row(r))
+	}
+}
+
+// MulMat computes Y = D·M, i.e. Y.Row(r) = Mᵀ*D.Row(r) for every batch row
+// (D is batch x Rows, Y batch x Cols): gradient backpropagation through a
+// linear layer for a whole batch.
+//
+// Bit-identity contract: per output element the terms accumulate over M's row
+// index in ascending order, matching MulVecT. MulVecT additionally skips
+// zero coefficients; this kernel does not, which is still bit-identical for
+// finite weights because an accumulator seeded with +0.0 can never become
+// -0.0 under round-to-nearest, and adding w*(±0.0) to it is then the
+// identity (see DESIGN.md §8).
+func (m *Mat) MulMat(d, y *Mat) {
+	if d.Cols != m.Rows || y.Cols != m.Cols || d.Rows != y.Rows {
+		panic("nn: MulMat shape mismatch")
+	}
+	n := d.Rows
+	r := 0
+	for ; r+4 <= n; r += 4 {
+		y0 := y.Data[r*y.Cols : (r+1)*y.Cols]
+		y1 := y.Data[(r+1)*y.Cols : (r+2)*y.Cols]
+		y2 := y.Data[(r+2)*y.Cols : (r+3)*y.Cols]
+		y3 := y.Data[(r+3)*y.Cols : (r+4)*y.Cols]
+		for j := range y0 {
+			y0[j], y1[j], y2[j], y3[j] = 0, 0, 0, 0
+		}
+		for i := 0; i < m.Rows; i++ {
+			d0 := d.Data[r*d.Cols+i]
+			d1 := d.Data[(r+1)*d.Cols+i]
+			d2 := d.Data[(r+2)*d.Cols+i]
+			d3 := d.Data[(r+3)*d.Cols+i]
+			if d0 == 0 && d1 == 0 && d2 == 0 && d3 == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, w := range row {
+				y0[j] += w * d0
+				y1[j] += w * d1
+				y2[j] += w * d2
+				y3[j] += w * d3
+			}
+		}
+	}
+	for ; r < n; r++ {
+		m.MulVecT(d.Row(r), y.Row(r))
+	}
+}
+
+// AddMatOuterScaled accumulates a * Dᵀ·X into m row pair by row pair
+// (D batch x Rows, X batch x Cols): the batched weight-gradient update
+// dW += a * Σ_r gradOut_r ⊗ input_r.
+//
+// Bit-identity contract: per element of m the contributions are added one
+// batch row at a time in ascending row order — never pre-reduced in a
+// register — so the result is bit-identical to calling AddOuterScaled once
+// per batch row, no matter how the caller splits batches.
+func (m *Mat) AddMatOuterScaled(d, x *Mat, a float64) {
+	if d.Cols != m.Rows || x.Cols != m.Cols || d.Rows != x.Rows {
+		panic("nn: AddMatOuterScaled shape mismatch")
+	}
+	n := d.Rows
+	r := 0
+	for ; r+2 <= n; r += 2 {
+		x0 := x.Data[r*x.Cols : (r+1)*x.Cols]
+		x1 := x.Data[(r+1)*x.Cols : (r+2)*x.Cols]
+		for k := 0; k < m.Rows; k++ {
+			d0 := a * d.Data[r*d.Cols+k]
+			d1 := a * d.Data[(r+1)*d.Cols+k]
+			row := m.Data[k*m.Cols : (k+1)*m.Cols]
+			switch {
+			case d0 != 0 && d1 != 0:
+				// One load/store of row[j] for both contributions; the two
+				// adds stay separate instructions in row order.
+				for j := range row {
+					v := row[j] + d0*x0[j]
+					row[j] = v + d1*x1[j]
+				}
+			case d0 != 0:
+				for j := range row {
+					row[j] += d0 * x0[j]
+				}
+			case d1 != 0:
+				for j := range row {
+					row[j] += d1 * x1[j]
+				}
+			}
+		}
+	}
+	for ; r < n; r++ {
+		m.AddOuterScaled(d.Row(r), x.Row(r), a)
+	}
+}
+
 // AddOuterScaled accumulates a * x·yᵀ into m (x len Rows, y len Cols): the
 // weight-gradient update dW += a * gradOut ⊗ input.
 func (m *Mat) AddOuterScaled(x, y []float64, a float64) {

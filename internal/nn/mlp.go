@@ -151,6 +151,222 @@ func (m *MLP) Forward(x []float64, cache *Cache) []float64 {
 	return cache.X[m.Layers()]
 }
 
+// BatchCache is the batched counterpart of Cache: per-layer activation,
+// pre-activation and delta matrices with one row per batch sample, allocated
+// once at a fixed row capacity and reused across calls (Input shrinks the
+// logical row count without reallocating). Each goroutine uses its own
+// BatchCache, like Cache.
+type BatchCache struct {
+	// X[0] is the input batch; X[l+1] the activation batch after layer l.
+	X []*Mat
+	// Z[l] is the pre-activation batch of layer l.
+	Z []*Mat
+	// Delta[l] is the backward scratch for dLoss/dX[l].
+	Delta []*Mat
+	cap   int
+}
+
+// NewBatchCache allocates a batch cache for up to maxRows samples. The
+// backward Delta matrices are allocated lazily on first BackwardBatch, so
+// forward-only consumers (evaluation clones, the rollout scorer) pay half
+// the memory.
+func NewBatchCache(m *MLP, maxRows int) *BatchCache {
+	if maxRows <= 0 {
+		panic("nn: BatchCache needs a positive row capacity")
+	}
+	c := &BatchCache{cap: maxRows}
+	for l := 0; l <= m.Layers(); l++ {
+		c.X = append(c.X, NewMat(maxRows, m.Sizes[l]))
+		if l < m.Layers() {
+			c.Z = append(c.Z, NewMat(maxRows, m.Sizes[l+1]))
+		}
+	}
+	return c
+}
+
+// Cap returns the row capacity.
+func (c *BatchCache) Cap() int { return c.cap }
+
+// Input sets the logical batch size to n rows and returns the input matrix
+// for the caller to fill, so batches can be assembled without an extra copy
+// in ForwardBatch.
+func (c *BatchCache) Input(n int) *Mat {
+	if n < 0 || n > c.cap {
+		panic(fmt.Sprintf("nn: batch size %d outside cache capacity %d", n, c.cap))
+	}
+	for l := range c.X {
+		c.X[l].Rows = n
+		if l < len(c.Z) {
+			c.Z[l].Rows = n
+		}
+	}
+	return c.X[0]
+}
+
+// ensureDelta allocates the backward scratch on first use and aligns its
+// logical row count with the current batch.
+func (c *BatchCache) ensureDelta(m *MLP, n int) {
+	if c.Delta == nil {
+		for l := 0; l <= m.Layers(); l++ {
+			c.Delta = append(c.Delta, NewMat(c.cap, m.Sizes[l]))
+		}
+	}
+	for l := range c.Delta {
+		c.Delta[l].Rows = n
+	}
+}
+
+// ForwardBatch runs the network on every row of x with one GEMM per layer,
+// recording intermediates in cache, and returns the output batch (a view
+// into the cache; copy before reuse). Row r of the result is bit-identical
+// to Forward(x.Row(r)) — see MulMatT's contract. Pass cache.Input(n) itself
+// (after filling it) to skip the input copy.
+func (m *MLP) ForwardBatch(x *Mat, cache *BatchCache) *Mat {
+	if x.Cols != m.Sizes[0] {
+		panic(fmt.Sprintf("nn: batch input width %d, want %d", x.Cols, m.Sizes[0]))
+	}
+	if x != cache.X[0] {
+		in := cache.Input(x.Rows)
+		copy(in.Data[:x.Rows*x.Cols], x.Data[:x.Rows*x.Cols])
+	} else if x.Rows != cache.Z[0].Rows {
+		cache.Input(x.Rows) // realign layer matrices with a pre-filled input
+	}
+	L := m.Layers()
+	for l := 0; l < L; l++ {
+		m.W[l].MulMatT(cache.X[l], cache.Z[l])
+		act := m.Act
+		if l == L-1 {
+			act = Identity
+		}
+		b := m.B[l]
+		z, xo := cache.Z[l], cache.X[l+1]
+		// activation hoisted out of the element loop (actForward switches on
+		// the activation name; per-element that dominates small layers)
+		switch act {
+		case ReLU:
+			for r := 0; r < z.Rows; r++ {
+				zr, xr := z.Row(r), xo.Row(r)
+				for i, v := range zr {
+					zv := v + b[i]
+					zr[i] = zv
+					if zv > 0 {
+						xr[i] = zv
+					} else {
+						xr[i] = 0
+					}
+				}
+			}
+		case Identity:
+			for r := 0; r < z.Rows; r++ {
+				zr, xr := z.Row(r), xo.Row(r)
+				for i, v := range zr {
+					zv := v + b[i]
+					zr[i] = zv
+					xr[i] = zv
+				}
+			}
+		default:
+			for r := 0; r < z.Rows; r++ {
+				zr, xr := z.Row(r), xo.Row(r)
+				for i, v := range zr {
+					zr[i] = v + b[i]
+					xr[i] = actForward(act, zr[i])
+				}
+			}
+		}
+	}
+	return cache.X[L]
+}
+
+// ScoreMasked scores every mask-selected row with one batched forward of a
+// single-output network and returns the masked softmax over all rows plus
+// the number of gathered rows. This is the shared per-decision scoring
+// protocol of the RL agent and the PPO policy update: gather the selectable
+// rows into bc (whose forward cache the caller may then reuse for a
+// BackwardBatch aligned with the gather order), scatter output 0 of each
+// row into scores (masked rows score 0), softmax into probs. gather, scores
+// and probs must have len(rows); the result is bit-identical to a per-row
+// Forward loop over the selectable rows.
+func (m *MLP) ScoreMasked(rows [][]float64, mask []bool, bc *BatchCache,
+	gather []int, scores, probs []float64) ([]float64, int) {
+	k := 0
+	for i := range rows {
+		if mask[i] {
+			gather[k] = i
+			k++
+		}
+	}
+	in := bc.Input(k)
+	for j := 0; j < k; j++ {
+		copy(in.Row(j), rows[gather[j]])
+	}
+	out := m.ForwardBatch(in, bc)
+	for i := range scores {
+		scores[i] = 0
+	}
+	for j := 0; j < k; j++ {
+		scores[gather[j]] = out.At(j, 0)
+	}
+	return MaskedSoftmaxInto(scores, mask, probs), k
+}
+
+// BackwardBatch accumulates dLoss/dParams into g for a whole batch, given
+// the cache of the ForwardBatch that produced the outputs and
+// gradOut = dLoss/dOutput (one row per sample). It returns dLoss/dInput (a
+// view into the cache; copy before reuse).
+//
+// Per element of g the batch rows accumulate in ascending order directly
+// into the gradient storage, so the result is bit-identical to calling
+// Backward once per row in order — at any batch split (see DESIGN.md §8).
+func (m *MLP) BackwardBatch(cache *BatchCache, gradOut *Mat, g *Grads) *Mat {
+	L := m.Layers()
+	n := cache.X[0].Rows
+	if gradOut.Cols != m.Sizes[L] || gradOut.Rows != n {
+		panic(fmt.Sprintf("nn: batch gradOut %dx%d, want %dx%d", gradOut.Rows, gradOut.Cols, n, m.Sizes[L]))
+	}
+	cache.ensureDelta(m, n)
+	copy(cache.Delta[L].Data[:n*gradOut.Cols], gradOut.Data[:n*gradOut.Cols])
+	for l := L - 1; l >= 0; l-- {
+		act := m.Act
+		if l == L-1 {
+			act = Identity
+		}
+		// delta through the activation (hoisted like ForwardBatch)
+		d, z, xo := cache.Delta[l+1], cache.Z[l], cache.X[l+1]
+		switch act {
+		case ReLU:
+			for r := 0; r < n; r++ {
+				dr, zr := d.Row(r), z.Row(r)
+				for i := range dr {
+					if zr[i] <= 0 {
+						dr[i] = 0
+					}
+				}
+			}
+		case Identity:
+			// derivative 1: delta unchanged
+		default:
+			for r := 0; r < n; r++ {
+				dr, zr, xr := d.Row(r), z.Row(r), xo.Row(r)
+				for i := range dr {
+					dr[i] *= actBackward(act, zr[i], xr[i])
+				}
+			}
+		}
+		// parameter gradients, batch rows in ascending order
+		g.W[l].AddMatOuterScaled(d, cache.X[l], 1)
+		gb := g.B[l]
+		for r := 0; r < n; r++ {
+			for i, v := range d.Row(r) {
+				gb[i] += v
+			}
+		}
+		// propagate to the previous layer
+		m.W[l].MulMat(d, cache.Delta[l])
+	}
+	return cache.Delta[0]
+}
+
 // Grads accumulates parameter gradients for an MLP.
 type Grads struct {
 	W []*Mat

@@ -11,8 +11,18 @@ import (
 // panics if no entry is valid. The computation is max-shifted for numerical
 // stability.
 func MaskedSoftmax(scores []float64, mask []bool) []float64 {
+	return MaskedSoftmaxInto(scores, mask, make([]float64, len(scores)))
+}
+
+// MaskedSoftmaxInto is MaskedSoftmax writing into caller-provided scratch
+// (len == len(scores)), allocation-free on the per-decision hot path. It
+// returns probs.
+func MaskedSoftmaxInto(scores []float64, mask []bool, probs []float64) []float64 {
 	if len(scores) != len(mask) {
 		panic("nn: softmax scores/mask length mismatch")
+	}
+	if len(probs) != len(scores) {
+		panic("nn: softmax scratch length mismatch")
 	}
 	maxV := math.Inf(-1)
 	any := false
@@ -27,12 +37,13 @@ func MaskedSoftmax(scores []float64, mask []bool) []float64 {
 	if !any {
 		panic("nn: softmax with empty mask")
 	}
-	probs := make([]float64, len(scores))
 	var sum float64
 	for i, s := range scores {
 		if mask[i] {
 			probs[i] = math.Exp(s - maxV)
 			sum += probs[i]
+		} else {
+			probs[i] = 0
 		}
 	}
 	for i := range probs {
@@ -111,6 +122,44 @@ func SoftmaxLogProbGrad(probs []float64, mask []bool, a int, grad []float64) {
 			g += 1
 		}
 		grad[i] = g
+	}
+}
+
+// SoftmaxPolicyGrad fuses SoftmaxLogProbGrad and SoftmaxEntropyGrad into the
+// PPO policy score gradient dlogp*d(log p[a])/ds - entropyCoef*dH/ds in a
+// single scratch-free pass, writing into grad. It is bit-identical to the
+// two-pass composition: each term is computed with the same expressions and
+// combined in the same order.
+func SoftmaxPolicyGrad(probs []float64, mask []bool, a int, dlogp, entropyCoef float64, grad []float64) {
+	if entropyCoef == 0 {
+		for i := range grad {
+			if !mask[i] {
+				grad[i] = 0
+				continue
+			}
+			g := -probs[i]
+			if i == a {
+				g += 1
+			}
+			grad[i] = g * dlogp
+		}
+		return
+	}
+	h := Entropy(probs)
+	for i := range grad {
+		if !mask[i] {
+			grad[i] = 0
+			continue
+		}
+		g := -probs[i]
+		if i == a {
+			g += 1
+		}
+		var eg float64
+		if probs[i] > 0 {
+			eg = -probs[i] * (math.Log(probs[i]) + h)
+		}
+		grad[i] = dlogp*g - entropyCoef*eg
 	}
 }
 

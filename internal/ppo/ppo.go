@@ -83,7 +83,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// PPO holds the actor-critic networks and their optimisers.
+// PPO holds the actor-critic networks and their optimisers. An instance is
+// not safe for concurrent Update calls: the per-worker scratch below is
+// reused across iterations (that reuse is what removes the per-iteration
+// allocation churn from the update hot path).
 type PPO struct {
 	Policy *nn.MLP // kernel network: featDim -> ... -> 1
 	Value  *nn.MLP // value network: flatDim -> ... -> 1
@@ -92,6 +95,81 @@ type PPO struct {
 	piOpt *nn.Adam
 	vOpt  *nn.Adam
 	rng   *stats.RNG
+
+	// persistent update scratch, grown on demand
+	pi      []*piScratch
+	v       []*vScratch
+	piTotal *nn.Grads
+	vTotal  *nn.Grads
+	idx     []int
+}
+
+// piScratch is one policy-update worker's reusable state: gradient
+// accumulator, batch cache sized to the widest observation seen, and the
+// per-decision score/prob/gradient vectors.
+type piScratch struct {
+	g       *nn.Grads
+	bc      *nn.BatchCache
+	gradOut *nn.Mat
+	scores  []float64
+	probs   []float64
+	dscore  []float64
+	gather  []int
+	loss    float64
+	kl      float64
+	ent     float64
+}
+
+func (s *piScratch) ensure(policy *nn.MLP, n int) {
+	if cap(s.scores) < n {
+		s.scores = make([]float64, n)
+		s.probs = make([]float64, n)
+		s.dscore = make([]float64, n)
+		s.gather = make([]int, n)
+	}
+	if s.bc == nil || s.bc.Cap() < n {
+		s.bc = nn.NewBatchCache(policy, n)
+		s.gradOut = nn.NewMat(n, 1)
+	}
+}
+
+// valueBatchRows bounds the value-network batch matrix: large enough that
+// the GEMM amortises, small enough that the cache stays ~1 MB at the paper's
+// 1290-wide flat observation.
+const valueBatchRows = 128
+
+// vScratch is one value-update worker's reusable state.
+type vScratch struct {
+	g       *nn.Grads
+	bc      *nn.BatchCache
+	gradOut *nn.Mat
+	loss    float64
+}
+
+// piScratches returns (growing if needed) one policy scratch per worker.
+func (p *PPO) piScratches(workers int) []*piScratch {
+	for len(p.pi) < workers {
+		p.pi = append(p.pi, &piScratch{g: nn.NewGrads(p.Policy)})
+	}
+	if p.piTotal == nil {
+		p.piTotal = nn.NewGrads(p.Policy)
+	}
+	return p.pi
+}
+
+// vScratches returns (growing if needed) one value scratch per worker.
+func (p *PPO) vScratches(workers int) []*vScratch {
+	for len(p.v) < workers {
+		p.v = append(p.v, &vScratch{
+			g:       nn.NewGrads(p.Value),
+			bc:      nn.NewBatchCache(p.Value, valueBatchRows),
+			gradOut: nn.NewMat(valueBatchRows, 1),
+		})
+	}
+	if p.vTotal == nil {
+		p.vTotal = nn.NewGrads(p.Value)
+	}
+	return p.v
 }
 
 // New wires the networks to fresh Adam optimisers.
@@ -171,7 +249,10 @@ func (p *PPO) Update(trajs []Trajectory) UpdateStats {
 	}
 
 	// ---- policy updates ----
-	idx := make([]int, len(steps))
+	if cap(p.idx) < len(steps) {
+		p.idx = make([]int, len(steps))
+	}
+	idx := p.idx[:len(steps)]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -219,16 +300,18 @@ func (p *PPO) minibatch(idx []int) []int {
 }
 
 // policyStep computes one clipped-surrogate gradient step over the batch and
-// returns (loss, approxKL, entropy).
+// returns (loss, approxKL, entropy). Each worker scores its decisions with
+// one ForwardBatch over the selectable rows and backpropagates them with one
+// BackwardBatch, instead of a Forward/Backward pair per candidate row; the
+// batched kernels' accumulation-order contract keeps the resulting gradients
+// bit-identical to the per-row loop at any Workers value.
 func (p *PPO) policyStep(steps []Step, advs []float64, batch []int, workers int) (loss, kl, ent float64) {
-	grads := make([]*nn.Grads, workers)
-	losses := make([]float64, workers)
-	kls := make([]float64, workers)
-	ents := make([]float64, workers)
+	scratch := p.piScratches(workers)
 	clip := p.Cfg.ClipRatio
 
 	var wg sync.WaitGroup
 	chunk := (len(batch) + workers - 1) / workers
+	active := 0
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= len(batch) {
@@ -238,101 +321,89 @@ func (p *PPO) policyStep(steps []Step, advs []float64, batch []int, workers int)
 		if hi > len(batch) {
 			hi = len(batch)
 		}
+		active++
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(s *piScratch, lo, hi int) {
 			defer wg.Done()
-			g := nn.NewGrads(p.Policy)
-			cache := nn.NewCache(p.Policy)
-			var scores, dscore []float64
-			var caches []*nn.Cache
+			s.g.Zero()
+			s.loss, s.kl, s.ent = 0, 0, 0
 			for _, si := range batch[lo:hi] {
-				s := &steps[si]
-				n := len(s.Obs)
-				if cap(scores) < n {
-					scores = make([]float64, n)
-					dscore = make([]float64, n)
-				}
-				scores = scores[:n]
-				dscore = dscore[:n]
-				for len(caches) < n {
-					caches = append(caches, nn.NewCache(p.Policy))
-				}
-				// forward every selectable row, keeping per-row caches
-				for i, row := range s.Obs {
-					if !s.Mask[i] {
-						scores[i] = 0
-						continue
-					}
-					scores[i] = p.Policy.Forward(row, caches[i])[0]
-				}
-				probs := nn.MaskedSoftmax(scores, s.Mask)
-				newLogP := nn.LogProb(probs, s.Action)
-				ratio := math.Exp(newLogP - s.LogP)
-				adv := advs[si]
-
-				// clipped surrogate: L = -min(ratio*A, clip(ratio)*A)
-				unclipped := ratio * adv
-				clipped := clampF(ratio, 1-clip, 1+clip) * adv
-				obj := math.Min(unclipped, clipped)
-				losses[w] += -obj
-				kls[w] += s.LogP - newLogP
-				ents[w] += nn.Entropy(probs)
-
-				// dL/dlogp: zero when the clip branch saturates
-				var dlogp float64
-				if unclipped <= clipped {
-					dlogp = -ratio * adv
-				}
-				nn.SoftmaxLogProbGrad(probs, s.Mask, s.Action, dscore)
-				if p.Cfg.EntropyCoef > 0 {
-					entGrad := make([]float64, n)
-					nn.SoftmaxEntropyGrad(probs, s.Mask, entGrad)
-					for i := range dscore {
-						dscore[i] = dlogp*dscore[i] - p.Cfg.EntropyCoef*entGrad[i]
-					}
-				} else {
-					for i := range dscore {
-						dscore[i] *= dlogp
-					}
-				}
-				for i := range s.Obs {
-					if !s.Mask[i] || dscore[i] == 0 {
-						continue
-					}
-					p.Policy.Backward(caches[i], []float64{dscore[i]}, g)
-				}
+				p.policyStepOne(s, &steps[si], advs[si], clip)
 			}
-			grads[w] = g
-			_ = cache
-		}(w, lo, hi)
+		}(scratch[w], lo, hi)
 	}
 	wg.Wait()
 
-	total := nn.NewGrads(p.Policy)
-	for _, g := range grads {
-		if g != nil {
-			total.Add(g)
-		}
+	total := p.piTotal
+	total.Zero()
+	for w := 0; w < active; w++ {
+		total.Add(scratch[w].g)
 	}
 	n := float64(len(batch))
 	total.Scale(1 / n)
 	p.piOpt.Step(p.Policy, total)
-	for w := 0; w < workers; w++ {
-		loss += losses[w]
-		kl += kls[w]
-		ent += ents[w]
+	for w := 0; w < active; w++ {
+		loss += scratch[w].loss
+		kl += scratch[w].kl
+		ent += scratch[w].ent
 	}
 	return loss / n, kl / n, ent / n
 }
 
+// policyStepOne processes one recorded decision: batched forward over the
+// selectable rows, surrogate loss, and batched backward of the score
+// gradients into s.g.
+func (p *PPO) policyStepOne(s *piScratch, st *Step, adv, clip float64) {
+	n := len(st.Obs)
+	s.ensure(p.Policy, n)
+
+	// gather + score the selectable rows with one batched forward (masked
+	// rows score 0 and never reach the backward pass, exactly like the
+	// per-row loop); s.bc keeps the forward cache in gather order for the
+	// BackwardBatch below.
+	probs, k := p.Policy.ScoreMasked(st.Obs, st.Mask, s.bc, s.gather, s.scores[:n], s.probs[:n])
+	newLogP := nn.LogProb(probs, st.Action)
+	ratio := math.Exp(newLogP - st.LogP)
+
+	// clipped surrogate: L = -min(ratio*A, clip(ratio)*A)
+	unclipped := ratio * adv
+	clipped := clampF(ratio, 1-clip, 1+clip) * adv
+	obj := math.Min(unclipped, clipped)
+	s.loss += -obj
+	s.kl += st.LogP - newLogP
+	s.ent += nn.Entropy(probs)
+
+	// dL/dlogp: zero when the clip branch saturates
+	var dlogp float64
+	if unclipped <= clipped {
+		dlogp = -ratio * adv
+	}
+	dscore := s.dscore[:n]
+	nn.SoftmaxPolicyGrad(probs, st.Mask, st.Action, dlogp, p.Cfg.EntropyCoef, dscore)
+
+	gradOut := s.gradOut
+	gradOut.Rows = k
+	anyGrad := false
+	for j := 0; j < k; j++ {
+		d := dscore[s.gather[j]]
+		gradOut.Data[j] = d
+		anyGrad = anyGrad || d != 0
+	}
+	if anyGrad {
+		p.Policy.BackwardBatch(s.bc, gradOut, s.g)
+	}
+}
+
 // valueStep computes one mean-squared-error regression step for the critic
-// and returns the loss.
+// and returns the loss. Each worker assembles its share of the minibatch
+// into valueBatchRows-row blocks and runs one ForwardBatch+BackwardBatch per
+// block; gradients and loss are bit-identical to the per-row loop.
 func (p *PPO) valueStep(steps []Step, rets []float64, batch []int, workers int) float64 {
-	grads := make([]*nn.Grads, workers)
-	losses := make([]float64, workers)
+	scratch := p.vScratches(workers)
 
 	var wg sync.WaitGroup
 	chunk := (len(batch) + workers - 1) / workers
+	active := 0
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		if lo >= len(batch) {
@@ -342,35 +413,51 @@ func (p *PPO) valueStep(steps []Step, rets []float64, batch []int, workers int) 
 		if hi > len(batch) {
 			hi = len(batch)
 		}
+		active++
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(s *vScratch, lo, hi int) {
 			defer wg.Done()
-			g := nn.NewGrads(p.Value)
-			cache := nn.NewCache(p.Value)
-			for _, si := range batch[lo:hi] {
-				s := &steps[si]
-				v := p.Value.Forward(s.FlatObs, cache)[0]
-				diff := v - rets[si]
-				losses[w] += diff * diff
-				p.Value.Backward(cache, []float64{2 * diff}, g)
+			s.g.Zero()
+			s.loss = 0
+			flatDim := p.Value.Sizes[0]
+			for start := lo; start < hi; start += valueBatchRows {
+				end := start + valueBatchRows
+				if end > hi {
+					end = hi
+				}
+				nb := end - start
+				in := s.bc.Input(nb)
+				for r, si := range batch[start:end] {
+					if len(steps[si].FlatObs) != flatDim {
+						panic("ppo: step FlatObs width does not match the value network")
+					}
+					copy(in.Row(r), steps[si].FlatObs)
+				}
+				out := p.Value.ForwardBatch(in, s.bc)
+				gradOut := s.gradOut
+				gradOut.Rows = nb
+				for r, si := range batch[start:end] {
+					diff := out.At(r, 0) - rets[si]
+					s.loss += diff * diff
+					gradOut.Data[r] = 2 * diff
+				}
+				p.Value.BackwardBatch(s.bc, gradOut, s.g)
 			}
-			grads[w] = g
-		}(w, lo, hi)
+		}(scratch[w], lo, hi)
 	}
 	wg.Wait()
 
-	total := nn.NewGrads(p.Value)
-	for _, g := range grads {
-		if g != nil {
-			total.Add(g)
-		}
+	total := p.vTotal
+	total.Zero()
+	for w := 0; w < active; w++ {
+		total.Add(scratch[w].g)
 	}
 	n := float64(len(batch))
 	total.Scale(1 / n)
 	p.vOpt.Step(p.Value, total)
 	var loss float64
-	for w := 0; w < workers; w++ {
-		loss += losses[w]
+	for w := 0; w < active; w++ {
+		loss += scratch[w].loss
 	}
 	return loss / n
 }
