@@ -7,13 +7,16 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"testing"
 
 	"repro/internal/backfill"
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/lublin"
 	"repro/internal/nn"
@@ -249,6 +252,85 @@ func BenchmarkSimulatorConservative(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorSlack measures the slack-based backfilling cost on the
+// conservative benchmark's workload (the other profile-based heuristic).
+func BenchmarkSimulatorSlack(b *testing.B) {
+	tr := trace.SyntheticSDSCSP2(500, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr.Clone(), sim.Config{
+			Policy:     sched.FCFS{},
+			Backfiller: backfill.NewSlack(backfill.RequestTime{}),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileReserve measures one conservative-style profile round on
+// the indexed skyline: bulk-build from 48 running spans, checkpoint, place
+// 48 queued jobs via FindStart+ReserveFound, roll back. This is the
+// primitive the profile-based backfillers execute once per candidate per
+// scheduling round.
+func BenchmarkProfileReserve(b *testing.B) {
+	rng := stats.NewRNG(3)
+	const nRun, nQueue = 32, 48
+	spans := make([]cluster.Span, nRun)
+	type jb struct {
+		dur   int64
+		procs int
+	}
+	queue := make([]jb, nQueue)
+	for i := range spans {
+		// Running jobs always fit the machine (32 x <=4 <= 128 procs), as the
+		// cluster guarantees in real replays — the bulk build must never hit
+		// the over-capacity fallback here.
+		spans[i] = cluster.Span{End: rng.Int63n(30000) + 1, Procs: rng.Intn(4) + 1}
+	}
+	for i := range queue {
+		queue[i] = jb{dur: rng.Int63n(20000) + 60, procs: rng.Intn(16) + 1}
+	}
+	p := cluster.NewProfile(128, 0)
+	scratch := make([]cluster.Span, nRun)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, spans) // ResetSpans reorders its argument
+		p.ResetSpans(128, 0, scratch)
+		mark := p.Checkpoint()
+		for _, j := range queue {
+			s := p.FindStart(0, j.dur, j.procs)
+			if err := p.ReserveFound(s, s+j.dur, j.procs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p.Rollback(mark)
+	}
+}
+
+// BenchmarkProfileFindStart measures the monotonic-candidate walk on a
+// loaded skyline (~64 reservations deep), across small and machine-wide
+// requests.
+func BenchmarkProfileFindStart(b *testing.B) {
+	rng := stats.NewRNG(9)
+	p := cluster.NewProfile(128, 0)
+	for i := 0; i < 64; i++ {
+		procs := rng.Intn(24) + 1
+		dur := rng.Int63n(5000) + 60
+		s := p.FindStart(rng.Int63n(40000), dur, procs)
+		if err := p.Reserve(s, s+dur, procs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		procs := i%96 + 1
+		_ = p.FindStart(int64(i%50000), int64(i%7000)+60, procs)
+	}
+}
+
 // BenchmarkQueueMaintenanceStatic isolates waiting-queue upkeep for a
 // static-score policy: FCFS with no backfiller exercises only binary
 // insertion, binary-search removal and the running-set bookkeeping.
@@ -298,6 +380,65 @@ func BenchmarkEngineRunning(b *testing.B) {
 		if rs := e.Running(); len(rs) != n {
 			b.Fatal("running set changed")
 		}
+	}
+}
+
+// BenchmarkEventQueue compares the calendar queue (eventq.Queue) against the
+// binary heap (eventq.Heap) on the simulator's event pattern: a pending set
+// of `hold` completions, each pop of the earliest followed by a push at the
+// advancing clock plus a spread-out runtime, interleaved with the engine's
+// peek-before-pop probes. The hold sizes bracket the running-set sizes of
+// the paper's traces.
+func BenchmarkEventQueue(b *testing.B) {
+	const pushes = 4096
+	mkTimes := func() []int64 {
+		rng := stats.NewRNG(11)
+		times := make([]int64, pushes)
+		for i := range times {
+			times[i] = rng.Int63n(36000) + 1 // runtimes up to ~10h
+		}
+		return times
+	}
+	for _, hold := range []int{16, 256} {
+		times := mkTimes()
+		b.Run(fmt.Sprintf("calendar-%d", hold), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var q eventq.Queue
+				clock := int64(0)
+				for k := 0; k < hold; k++ {
+					q.Push(eventq.Event{Time: clock + times[k], Kind: eventq.Finish})
+				}
+				for k := hold; k < pushes; k++ {
+					e, _ := q.Peek()
+					e, _ = q.Pop()
+					clock = e.Time
+					q.Push(eventq.Event{Time: clock + times[k], Kind: eventq.Finish})
+				}
+				for q.Len() > 0 {
+					q.Pop()
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("heap-%d", hold), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var q eventq.Heap
+				clock := int64(0)
+				for k := 0; k < hold; k++ {
+					q.Push(eventq.Event{Time: clock + times[k], Kind: eventq.Finish, Seq: k})
+				}
+				for k := hold; k < pushes; k++ {
+					e, _ := q.Peek()
+					e, _ = q.Pop()
+					clock = e.Time
+					q.Push(eventq.Event{Time: clock + times[k], Kind: eventq.Finish, Seq: k})
+				}
+				for q.Len() > 0 {
+					q.Pop()
+				}
+			}
+		})
 	}
 }
 

@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 2023, "sampling seed")
 	workers := flag.Int("workers", 0, "concurrent sequence replays (0 or 1 = sequential)")
 	shardWindow := flag.Int("shard-window", 0, "jobs per shard window for long sequence replays (0 = off)")
+	shardSeconds := flag.Int64("shard-seconds", 0, "simulated seconds per shard window (wall-clock cuts; takes precedence over -shard-window)")
 	shardOverlap := flag.Int("shard-overlap", 512, "warm-up/cool-down jobs replayed on each window flank")
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 		fatal("%v", err)
 	}
 	evalCfg := core.EvalConfig{Sequences: *seqs, SeqLen: *seqLen, Seed: *seed, Workers: *workers,
-		Shard: shard.Config{Window: *shardWindow, Overlap: *shardOverlap, MinJobs: 1}}
+		Shard: shard.Config{Window: *shardWindow, WindowSeconds: *shardSeconds, Overlap: *shardOverlap, MinJobs: 1}}
 	est := experiments.Estimator(tr)
 
 	fmt.Printf("workload %s (%d jobs, %d procs), base policy %s, %d x %d-job sequences (seed %d)\n",

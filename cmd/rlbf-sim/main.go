@@ -34,6 +34,7 @@ func main() {
 	noise := flag.Float64("noise", 0, "prediction noise level for easy (+x, e.g. 0.2)")
 	csvPath := flag.String("csv", "", "write per-job records to this CSV file")
 	shardWindow := flag.Int("shard-window", 0, "jobs per shard window for parallel replay (0 = sequential)")
+	shardSeconds := flag.Int64("shard-seconds", 0, "simulated seconds per shard window (wall-clock cuts; takes precedence over -shard-window)")
 	shardOverlap := flag.Int("shard-overlap", 512, "warm-up/cool-down jobs replayed on each window flank")
 	shardWorkers := flag.Int("shard-workers", 0, "concurrently simulated windows (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -83,11 +84,16 @@ func main() {
 
 	// Sharding only engages for a cloneable (or absent) backfiller and more
 	// than one window; otherwise shard.Replay would silently run
-	// sequentially, so keep the probe and tell the user why.
+	// sequentially, so keep the probe and tell the user why. Wall-clock
+	// windows produce a second window exactly when the submit span reaches
+	// the width (shard.Config.cutIndices).
 	sharded := *shardWindow > 0 && *shardWindow < tr.Len()
+	if *shardSeconds > 0 {
+		sharded = tr.Len() > 1 && tr.Jobs[tr.Len()-1].Submit-tr.Jobs[0].Submit >= *shardSeconds
+	}
 	if sharded && bf != nil {
 		if _, ok := bf.(backfill.Cloneable); !ok {
-			fmt.Fprintf(os.Stderr, "rlbf-sim: -shard-window ignored: backfiller %s cannot be cloned across windows\n", bf.Name())
+			fmt.Fprintf(os.Stderr, "rlbf-sim: sharding ignored: backfiller %s cannot be cloned across windows\n", bf.Name())
 			sharded = false
 		}
 	}
@@ -100,7 +106,8 @@ func main() {
 	var shardCfg shard.Config
 	simCfg := sim.Config{Policy: policy, Backfiller: bf}
 	if sharded {
-		shardCfg = shard.Config{Window: *shardWindow, Overlap: *shardOverlap, MinJobs: 1, Workers: *shardWorkers}
+		shardCfg = shard.Config{Window: *shardWindow, WindowSeconds: *shardSeconds,
+			Overlap: *shardOverlap, MinJobs: 1, Workers: *shardWorkers}
 	} else {
 		probe = &sim.TimelineProbe{}
 		simCfg.Probe = probe // assigned only when non-nil: a typed-nil probe would defeat the engine's nil check
@@ -119,7 +126,11 @@ func main() {
 		fmt.Println(probe)
 		fmt.Printf("util |%s|\n", probe.Sparkline(72))
 	} else {
-		fmt.Printf("sharded replay: window %d, overlap %d (timeline probe off)\n", *shardWindow, *shardOverlap)
+		if *shardSeconds > 0 {
+			fmt.Printf("sharded replay: window %ds of simulated time, overlap %d jobs (timeline probe off)\n", *shardSeconds, *shardOverlap)
+		} else {
+			fmt.Printf("sharded replay: window %d, overlap %d (timeline probe off)\n", *shardWindow, *shardOverlap)
+		}
 	}
 
 	if *csvPath != "" {

@@ -9,7 +9,6 @@ package backfill
 import (
 	"sort"
 
-	"repro/internal/cluster"
 	"repro/internal/trace"
 )
 
@@ -141,19 +140,4 @@ func (s *ReservationScratch) Compute(st State, head *trace.Job, est Estimator) R
 func ComputeReservation(st State, head *trace.Job, est Estimator) Reservation {
 	var s ReservationScratch
 	return s.Compute(st, head, est)
-}
-
-// fillProfileFromRunning resets p to the availability implied by the
-// running jobs' estimated completions, shared by every profile-based
-// strategy. A job that has outlived its estimate (end <= now) is assumed to
-// release imminently (now + 1). Running jobs always fit by construction.
-func fillProfileFromRunning(p *cluster.Profile, st State, est Estimator, now int64) {
-	p.Reset(st.TotalProcs(), now)
-	for _, r := range st.Running() {
-		end := r.Start + est.Estimate(r.Job)
-		if end <= now {
-			end = now + 1
-		}
-		_ = p.Reserve(now, end, r.Job.Procs)
-	}
 }

@@ -1,7 +1,6 @@
 package backfill
 
 import (
-	"repro/internal/cluster"
 	"repro/internal/trace"
 )
 
@@ -14,115 +13,39 @@ import (
 type Conservative struct {
 	Est Estimator
 
-	// Reusable scratch: the availability profile and reservation-start map
-	// are rebuilt on every round, so their storage is kept across calls.
-	prof   cluster.Profile
-	starts map[int]int64
+	// pl holds the reusable per-round profile, plan and limit scratch.
+	pl planner
 }
 
 // NewConservative returns conservative backfilling with the given estimator.
 func NewConservative(est Estimator) *Conservative { return &Conservative{Est: est} }
 
-// Fresh implements Cloneable: same estimator, own profile and start-map
-// scratch.
+// Fresh implements Cloneable: same estimator, own scratch.
 func (c *Conservative) Fresh() Backfiller { return &Conservative{Est: c.Est} }
 
 // Name implements Backfiller.
 func (c *Conservative) Name() string { return "CONS-" + c.Est.Name() }
 
-// Backfill implements Backfiller.
+// Backfill implements Backfiller. Each round plans reservations for the head
+// and every queued job, then starts the first candidate whose immediate
+// execution moves nobody's reserved start later — the limit of every job is
+// exactly its base start (no slip allowed). Rounds repeat until no candidate
+// is admissible.
 func (c *Conservative) Backfill(st State, head *trace.Job, queue []*trace.Job) {
 	for {
-		started := c.backfillOne(st, head, queue)
+		started := c.pl.backfillOne(st, c.Est, st.Now(), head, queue, true, c.setLimits)
 		if started == nil {
 			return
 		}
-		// remove the started job from the local queue view
-		out := queue[:0]
-		for _, j := range queue {
-			if j != started {
-				out = append(out, j)
-			}
-		}
-		queue = out
+		queue = removeStarted(queue, started)
 	}
 }
 
-// reserveAll re-reserves the head and then every queued job in policy order
-// on p, skipping `skip`. When record is non-nil each job's reserved start is
-// stored there; when limits is non-nil a job whose start lands after its
-// limit aborts the pass. It returns false when a reservation fails or a
-// limit is exceeded.
-func (c *Conservative) reserveAll(p *cluster.Profile, now int64, head *trace.Job, queue []*trace.Job, skip *trace.Job, record, limits map[int]int64) bool {
-	place := func(j *trace.Job) bool {
-		if j == skip {
-			return true
-		}
-		dur := c.Est.Estimate(j)
-		start := p.FindStart(now, dur, j.Procs)
-		if err := p.Reserve(start, start+dur, j.Procs); err != nil {
-			return false
-		}
-		if record != nil {
-			record[j.ID] = start
-		}
-		return limits == nil || start <= limits[j.ID]
+// setLimits pins every job to its base reserved start: conservative
+// backfilling tolerates zero slip.
+func (c *Conservative) setLimits() {
+	limit := c.pl.growLimits()
+	for i := range c.pl.plan {
+		limit[i] = c.pl.plan[i].start
 	}
-	if !place(head) {
-		return false
-	}
-	for _, j := range queue {
-		if !place(j) {
-			return false
-		}
-	}
-	return true
-}
-
-// backfillOne builds the availability profile (running jobs + reservations
-// for the head and every queued job in order) and starts the first candidate
-// whose immediate execution leaves all reservations intact. It returns the
-// started job, or nil.
-func (c *Conservative) backfillOne(st State, head *trace.Job, queue []*trace.Job) *trace.Job {
-	now := st.Now()
-
-	// One feasibility-and-recording pass: each waiting job's reserved start
-	// under the current profile is the "no one gets later" yardstick.
-	if c.starts == nil {
-		c.starts = make(map[int]int64, len(queue)+1)
-	} else {
-		clear(c.starts)
-	}
-	if !c.reserveAll(c.profile(st, now), now, head, queue, nil, c.starts, nil) {
-		return nil
-	}
-
-	for _, j := range queue {
-		if j.Procs > st.FreeProcs() {
-			continue
-		}
-		// Tentatively run j now, then re-reserve everyone else; accept only
-		// if nobody's start moves later.
-		p := c.profile(st, now)
-		dur := c.Est.Estimate(j)
-		if p.MinFree(now, now+dur) < j.Procs {
-			continue
-		}
-		if err := p.Reserve(now, now+dur, j.Procs); err != nil {
-			continue
-		}
-		if c.reserveAll(p, now, head, queue, j, nil, c.starts) {
-			st.StartJob(j)
-			return j
-		}
-	}
-	return nil
-}
-
-// profile resets the scratch profile to the availability implied by the
-// running jobs' estimated completions. The returned profile is valid until
-// the next profile call.
-func (c *Conservative) profile(st State, now int64) *cluster.Profile {
-	fillProfileFromRunning(&c.prof, st, c.Est, now)
-	return &c.prof
 }

@@ -1,0 +1,197 @@
+package backfill
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// planEntry is one job's base placement in a backfill round: its runtime
+// estimate and the start FindStart assigned under the round's base profile.
+type planEntry struct {
+	job   *trace.Job
+	dur   int64
+	start int64
+}
+
+// planner is the shared per-round machinery of the profile-based backfillers
+// (Conservative, Slack). A round builds the availability profile from the
+// running set exactly once (one bulk ResetSpans sweep), records every
+// waiting job's base reservation under a checkpoint, and then trial-places
+// each candidate under its own checkpoint — rollback restores the base
+// profile in O(touched segments), so nothing is ever rebuilt within a round
+// (DESIGN.md §9). All storage is reused across rounds; a planner is not
+// goroutine-safe (backfillers are cloned per worker, see Cloneable).
+type planner struct {
+	prof   cluster.Profile
+	spans  []cluster.Span
+	plan   []planEntry // base placement, in policy order: head first, then queue
+	limit  []int64     // latest admissible start per plan entry during trials
+	sufMin []int64     // sufMin[i] = min base start over plan[i:]
+}
+
+// fill resets the profile to the availability implied by the running jobs'
+// estimated completions. A job that has outlived its estimate (end <= now)
+// is assumed to release imminently (now + 1). Running jobs always fit by
+// construction.
+func (pl *planner) fill(st State, est Estimator, now int64) *cluster.Profile {
+	running := st.Running()
+	pl.spans = pl.spans[:0]
+	for _, r := range running {
+		end := r.Start + est.Estimate(r.Job)
+		if end <= now {
+			end = now + 1
+		}
+		pl.spans = append(pl.spans, cluster.Span{End: end, Procs: r.Job.Procs})
+	}
+	pl.prof.ResetSpans(st.TotalProcs(), now, pl.spans)
+	return &pl.prof
+}
+
+// basePlan places the head and then every queued job in order under a
+// checkpoint, recording each base start, and rolls the profile back. In
+// strict mode a failed reservation aborts the round (Conservative); lenient
+// mode records the found start and moves on (Slack, matching its historic
+// semantics). On success it also fills the suffix minima of the base starts
+// that the trial fast path keys on.
+func (pl *planner) basePlan(p *cluster.Profile, est Estimator, now int64, head *trace.Job, queue []*trace.Job, strict bool) bool {
+	pl.plan = pl.plan[:0]
+	mark := p.Checkpoint()
+	ok := pl.placeBase(p, est, now, head, strict)
+	if ok {
+		for _, j := range queue {
+			if !pl.placeBase(p, est, now, j, strict) {
+				ok = false
+				break
+			}
+		}
+	}
+	p.Rollback(mark)
+	if !ok {
+		return false
+	}
+	n := len(pl.plan)
+	if cap(pl.sufMin) < n+1 {
+		pl.sufMin = make([]int64, n+1)
+	}
+	pl.sufMin = pl.sufMin[:n+1]
+	pl.sufMin[n] = math.MaxInt64
+	for i := n - 1; i >= 0; i-- {
+		pl.sufMin[i] = min(pl.plan[i].start, pl.sufMin[i+1])
+	}
+	return true
+}
+
+func (pl *planner) placeBase(p *cluster.Profile, est Estimator, now int64, j *trace.Job, strict bool) bool {
+	dur := est.Estimate(j)
+	s := p.FindStart(now, dur, j.Procs)
+	if err := p.ReserveFound(s, s+dur, j.Procs); err != nil && strict {
+		return false
+	}
+	pl.plan = append(pl.plan, planEntry{job: j, dur: dur, start: s})
+	return true
+}
+
+// growLimits sizes the limit slice to the current plan.
+func (pl *planner) growLimits() []int64 {
+	n := len(pl.plan)
+	if cap(pl.limit) < n {
+		pl.limit = make([]int64, n)
+	}
+	pl.limit = pl.limit[:n]
+	return pl.limit
+}
+
+// trial re-places every planned job except plan[ci] (the candidate, already
+// reserved at [now, candEnd)) and reports whether everyone's new start stays
+// within its limit. It aborts on the first violation — the verdict is
+// already decided.
+//
+// Fast path: while every re-placed job has landed exactly on its base start
+// AND the loop has not yet passed the candidate's own slot, the trial
+// profile differs from the base profile only by the candidate's reservation
+// over [now, candEnd). A job whose base window starts at or after candEnd is
+// then disjoint from that difference, so it is (a) still feasible at its
+// base start and (b) cannot start earlier (the trial profile is pointwise no
+// freer elsewhere) — it re-places exactly at base with no search. Past the
+// candidate's slot the trial profile also lacks the candidate's base
+// reservation, which can open earlier holes and cascade, so every later job
+// gets a full search. When the candidate is the final slot and the whole
+// remaining suffix is disjoint (sufMin), the trial is accepted outright.
+func (pl *planner) trial(p *cluster.Profile, now int64, ci int, candEnd int64, strict bool) bool {
+	exact := true
+	last := len(pl.plan) - 1
+	for i := range pl.plan {
+		if i == ci {
+			continue
+		}
+		e := &pl.plan[i]
+		if exact && i < ci {
+			if ci == last && pl.sufMin[i] >= candEnd {
+				return true
+			}
+			if e.start >= candEnd {
+				if err := p.ReserveFound(e.start, e.start+e.dur, e.job.Procs); err != nil && strict {
+					return false
+				}
+				continue
+			}
+		}
+		s := p.FindStart(now, e.dur, e.job.Procs)
+		if err := p.ReserveFound(s, s+e.dur, e.job.Procs); err != nil && strict {
+			return false
+		}
+		if s > pl.limit[i] {
+			return false
+		}
+		if s != e.start {
+			exact = false
+		}
+	}
+	return true
+}
+
+// backfillOne runs one round for a profile-based strategy: build the base
+// profile, record the base plan (with `limits` filled by the caller via
+// setLimits), and start the first candidate whose immediate execution keeps
+// every other job within its limit. Returns the started job, or nil.
+func (pl *planner) backfillOne(st State, est Estimator, now int64, head *trace.Job, queue []*trace.Job, strict bool, setLimits func()) *trace.Job {
+	p := pl.fill(st, est, now)
+	if !pl.basePlan(p, est, now, head, queue, strict) {
+		return nil
+	}
+	setLimits()
+	free := st.FreeProcs()
+	for ci := 1; ci < len(pl.plan); ci++ {
+		cand := pl.plan[ci]
+		if cand.job.Procs > free {
+			continue
+		}
+		candEnd := now + cand.dur
+		mark := p.Checkpoint()
+		if err := p.Reserve(now, candEnd, cand.job.Procs); err != nil {
+			p.Rollback(mark)
+			continue
+		}
+		ok := pl.trial(p, now, ci, candEnd, strict)
+		p.Rollback(mark)
+		if ok {
+			st.StartJob(cand.job)
+			return cand.job
+		}
+	}
+	return nil
+}
+
+// removeStarted drops a started job from the local queue view between
+// rounds (shared by the profile-based strategies' Backfill loops).
+func removeStarted(queue []*trace.Job, started *trace.Job) []*trace.Job {
+	out := queue[:0]
+	for _, j := range queue {
+		if j != started {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,7 +1,6 @@
 package backfill
 
 import (
-	"repro/internal/cluster"
 	"repro/internal/trace"
 )
 
@@ -18,10 +17,8 @@ type Slack struct {
 	// via NewSlack).
 	Factor float64
 
-	// Reusable scratch for the per-round profile and start maps.
-	prof       cluster.Profile
-	baseStarts map[int]int64
-	newStarts  map[int]int64
+	// pl holds the reusable per-round profile, plan and limit scratch.
+	pl planner
 }
 
 // NewSlack returns slack-based backfilling with the conventional 0.5 slack
@@ -34,99 +31,29 @@ func (s *Slack) Fresh() Backfiller { return &Slack{Est: s.Est, Factor: s.Factor}
 // Name implements Backfiller.
 func (s *Slack) Name() string { return "SLACK-" + s.Est.Name() }
 
-// Backfill implements Backfiller.
+// Backfill implements Backfiller. Rounds run in lenient mode (a failed
+// reservation records its found start and moves on, Slack's historic
+// behaviour); each job's limit is its base start plus Factor x its own
+// estimate — except the head, which keeps a hard reservation.
 func (s *Slack) Backfill(st State, head *trace.Job, queue []*trace.Job) {
 	for {
-		started := s.backfillOne(st, head, queue)
+		started := s.pl.backfillOne(st, s.Est, st.Now(), head, queue, false, s.setLimits)
 		if started == nil {
 			return
 		}
-		out := queue[:0]
-		for _, j := range queue {
-			if j != started {
-				out = append(out, j)
-			}
-		}
-		queue = out
+		queue = removeStarted(queue, started)
 	}
 }
 
-func (s *Slack) backfillOne(st State, head *trace.Job, queue []*trace.Job) *trace.Job {
-	now := st.Now()
-	s.baseStarts, _ = s.reservationStarts(s.baseStarts, st, now, head, queue, nil)
-
-	for _, cand := range queue {
-		if cand.Procs > st.FreeProcs() {
-			continue
-		}
-		var feasible bool
-		s.newStarts, feasible = s.reservationStarts(s.newStarts, st, now, head, queue, cand)
-		if !feasible {
-			continue
-		}
-		ok := s.withinSlack(head, head)
-		if ok {
-			for _, o := range queue {
-				if o == cand {
-					continue
-				}
-				if !s.withinSlack(o, head) {
-					ok = false
-					break
-				}
-			}
-		}
-		if ok {
-			st.StartJob(cand)
-			return cand
+// setLimits allows every non-head job to slip by Factor x its estimated
+// runtime past its base reserved start; the head not at all.
+func (s *Slack) setLimits() {
+	limit := s.pl.growLimits()
+	for i := range s.pl.plan {
+		e := &s.pl.plan[i]
+		limit[i] = e.start
+		if i > 0 {
+			limit[i] += int64(s.Factor * float64(e.dur))
 		}
 	}
-	return nil
-}
-
-// withinSlack reports whether job o's new reserved start stays within its
-// allowed slip: non-head jobs may slip by Factor x their estimate, the head
-// not at all.
-func (s *Slack) withinSlack(o, head *trace.Job) bool {
-	allowed := s.baseStarts[o.ID]
-	if o != head {
-		allowed += int64(s.Factor * float64(s.Est.Estimate(o)))
-	}
-	return s.newStarts[o.ID] <= allowed
-}
-
-// reservationStarts fills dst with each job's planned start in the profile
-// implied by the running jobs, optionally with `runNow` started immediately.
-// It returns the (reused, possibly newly allocated) map, and false if
-// runNow cannot start now.
-func (s *Slack) reservationStarts(dst map[int]int64, st State, now int64, head *trace.Job, queue []*trace.Job, runNow *trace.Job) (map[int]int64, bool) {
-	fillProfileFromRunning(&s.prof, st, s.Est, now)
-	if runNow != nil {
-		dur := s.Est.Estimate(runNow)
-		if s.prof.MinFree(now, now+dur) < runNow.Procs {
-			return dst, false
-		}
-		if err := s.prof.Reserve(now, now+dur, runNow.Procs); err != nil {
-			return dst, false
-		}
-	}
-	if dst == nil {
-		dst = make(map[int]int64, len(queue)+1)
-	} else {
-		clear(dst)
-	}
-	place := func(j *trace.Job) {
-		if j == runNow {
-			return
-		}
-		dur := s.Est.Estimate(j)
-		start := s.prof.FindStart(now, dur, j.Procs)
-		_ = s.prof.Reserve(start, start+dur, j.Procs)
-		dst[j.ID] = start
-	}
-	place(head)
-	for _, j := range queue {
-		place(j)
-	}
-	return dst, true
 }

@@ -1,0 +1,513 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// ---- reference implementations ----
+
+// oldProfile is the pre-rewrite linear-scan profile, kept verbatim as the
+// golden model: the indexed skyline must answer every query identically.
+type oldProfile struct {
+	total int
+	segs  []segment
+}
+
+func newOldProfile(total int, from int64) *oldProfile {
+	return &oldProfile{total: total, segs: []segment{{Time: from, Free: total}}}
+}
+
+func (p *oldProfile) FreeAt(t int64) int {
+	free := p.segs[0].Free
+	for _, s := range p.segs {
+		if s.Time > t {
+			break
+		}
+		free = s.Free
+	}
+	return free
+}
+
+func (p *oldProfile) MinFree(start, end int64) int {
+	if end <= start {
+		return p.FreeAt(start)
+	}
+	min := p.total
+	for i, s := range p.segs {
+		segStart := s.Time
+		var segEnd int64
+		if i+1 < len(p.segs) {
+			segEnd = p.segs[i+1].Time
+		} else {
+			segEnd = end
+			if segEnd < segStart {
+				segEnd = segStart
+			}
+		}
+		if segEnd <= start || segStart >= end {
+			if segStart >= end {
+				break
+			}
+			continue
+		}
+		if s.Free < min {
+			min = s.Free
+		}
+	}
+	return min
+}
+
+func (p *oldProfile) Reserve(start, end int64, procs int) error {
+	if procs <= 0 || end <= start {
+		return errSkip
+	}
+	if p.MinFree(start, end) < procs {
+		return errSkip
+	}
+	p.split(start)
+	p.split(end)
+	for i := range p.segs {
+		if p.segs[i].Time >= start && p.segs[i].Time < end {
+			p.segs[i].Free -= procs
+		}
+	}
+	p.coalesce()
+	return nil
+}
+
+func (p *oldProfile) FindStart(after, duration int64, procs int) int64 {
+	if procs > p.total {
+		procs = p.total
+	}
+	if duration <= 0 {
+		duration = 1
+	}
+	if p.MinFree(after, after+duration) >= procs {
+		return after
+	}
+	for _, s := range p.segs {
+		if s.Time > after && p.MinFree(s.Time, s.Time+duration) >= procs {
+			return s.Time
+		}
+	}
+	last := p.segs[len(p.segs)-1].Time
+	if last < after {
+		last = after
+	}
+	return last
+}
+
+func (p *oldProfile) split(t int64) {
+	if t <= p.segs[0].Time {
+		return
+	}
+	for i, s := range p.segs {
+		if s.Time == t {
+			return
+		}
+		if s.Time > t {
+			prev := p.segs[i-1].Free
+			p.segs = append(p.segs, segment{})
+			copy(p.segs[i+1:], p.segs[i:])
+			p.segs[i] = segment{Time: t, Free: prev}
+			return
+		}
+	}
+	p.segs = append(p.segs, segment{Time: t, Free: p.segs[len(p.segs)-1].Free})
+}
+
+func (p *oldProfile) coalesce() {
+	out := p.segs[:1]
+	for _, s := range p.segs[1:] {
+		if s.Free == out[len(out)-1].Free {
+			continue
+		}
+		out = append(out, s)
+	}
+	p.segs = out
+}
+
+type skipError struct{}
+
+func (skipError) Error() string { return "reference reserve rejected" }
+
+var errSkip = skipError{}
+
+// naiveProfile models the free function as one counter per timestep over a
+// bounded horizon — the simplest possible reference for range updates.
+type naiveProfile struct {
+	total int
+	from  int64
+	free  []int // free[t - from] for t in [from, from+len)
+}
+
+func newNaiveProfile(total int, from int64, horizon int) *naiveProfile {
+	n := &naiveProfile{total: total, from: from, free: make([]int, horizon)}
+	for i := range n.free {
+		n.free[i] = total
+	}
+	return n
+}
+
+func (n *naiveProfile) reserve(start, end int64, procs int) bool {
+	lo, hi := start-n.from, end-n.from
+	if lo < 0 {
+		lo = 0
+	}
+	for t := lo; t < hi && t < int64(len(n.free)); t++ {
+		if n.free[t] < procs {
+			return false
+		}
+	}
+	for t := lo; t < hi && t < int64(len(n.free)); t++ {
+		n.free[t] -= procs
+	}
+	return true
+}
+
+func (n *naiveProfile) freeAt(t int64) int {
+	i := t - n.from
+	if i < 0 {
+		i = 0
+	}
+	if i >= int64(len(n.free)) {
+		i = int64(len(n.free)) - 1
+	}
+	return n.free[i]
+}
+
+// ---- direct edge-case unit tests ----
+
+func TestProfileFreeAtBeforeStart(t *testing.T) {
+	p := NewProfile(10, 100)
+	if got := p.FreeAt(0); got != 10 {
+		t.Fatalf("FreeAt before profile start = %d, want 10", got)
+	}
+	_ = p.Reserve(100, 200, 4)
+	if got := p.FreeAt(0); got != 6 {
+		t.Fatalf("FreeAt before start must report the first segment (6), got %d", got)
+	}
+	if got := p.FreeAt(250); got != 10 {
+		t.Fatalf("FreeAt on the open tail = %d, want 10", got)
+	}
+}
+
+func TestProfileMinFreeBeforeStart(t *testing.T) {
+	p := NewProfile(8, 100)
+	_ = p.Reserve(100, 200, 3)
+	if got := p.MinFree(0, 50); got != 8 {
+		t.Fatalf("MinFree on a window entirely before the profile = %d, want total 8", got)
+	}
+	if got := p.MinFree(0, 150); got != 5 {
+		t.Fatalf("MinFree straddling the profile start = %d, want 5", got)
+	}
+	if got := p.MinFree(50, 50); got != 5 {
+		t.Fatalf("empty window MinFree must report FreeAt(start)=5, got %d", got)
+	}
+}
+
+func TestProfileMinFreeBoundaryEqualWindows(t *testing.T) {
+	p := NewProfile(8, 0)
+	_ = p.Reserve(10, 20, 3)
+	// Window ending exactly at a reservation start must not see it.
+	if got := p.MinFree(0, 10); got != 8 {
+		t.Fatalf("MinFree(0,10) = %d, want 8 (end-exclusive)", got)
+	}
+	// Window starting exactly at a reservation end must not see it.
+	if got := p.MinFree(20, 30); got != 8 {
+		t.Fatalf("MinFree(20,30) = %d, want 8", got)
+	}
+	// Window exactly coinciding with the reservation.
+	if got := p.MinFree(10, 20); got != 5 {
+		t.Fatalf("MinFree(10,20) = %d, want 5", got)
+	}
+}
+
+func TestProfileMinFreeOpenTail(t *testing.T) {
+	p := NewProfile(8, 0)
+	_ = p.Reserve(0, 100, 2)
+	if got := p.MinFree(50, 1<<40); got != 6 {
+		t.Fatalf("MinFree over reservation + open tail = %d, want 6", got)
+	}
+	if got := p.MinFree(100, 1<<40); got != 8 {
+		t.Fatalf("MinFree on the open tail alone = %d, want 8", got)
+	}
+}
+
+func TestProfileFindStartProcsAboveTotal(t *testing.T) {
+	p := NewProfile(4, 0)
+	_ = p.Reserve(0, 50, 4)
+	// procs > total clamps to the machine size: the earliest instant the
+	// whole machine is free.
+	if got := p.FindStart(0, 10, 9); got != 50 {
+		t.Fatalf("FindStart with procs > total = %d, want 50", got)
+	}
+}
+
+func TestProfileFindStartBeforeStart(t *testing.T) {
+	p := NewProfile(4, 100)
+	if got := p.FindStart(0, 10, 4); got != 0 {
+		t.Fatalf("FindStart before profile start on an idle machine = %d, want 0", got)
+	}
+	_ = p.Reserve(100, 200, 4)
+	// A window from t=95 overlaps the full reservation at 100; first fit is 200.
+	if got := p.FindStart(95, 10, 4); got != 200 {
+		t.Fatalf("FindStart(95,10,4) = %d, want 200", got)
+	}
+	// A 5-second window starting at 95 clears before the reservation.
+	if got := p.FindStart(95, 5, 4); got != 95 {
+		t.Fatalf("FindStart(95,5,4) = %d, want 95", got)
+	}
+}
+
+func TestProfileFindStartZeroDuration(t *testing.T) {
+	p := NewProfile(4, 0)
+	_ = p.Reserve(0, 10, 4)
+	// duration <= 0 is clamped to 1.
+	if got := p.FindStart(0, 0, 1); got != 10 {
+		t.Fatalf("FindStart with zero duration = %d, want 10", got)
+	}
+}
+
+func TestProfileReserveExtendsTail(t *testing.T) {
+	p := NewProfile(4, 0)
+	if err := p.Reserve(1000, 2000, 2); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeAt(500) != 4 || p.FreeAt(1500) != 2 || p.FreeAt(2500) != 4 {
+		t.Fatalf("tail-extending reservation wrong: %d %d %d",
+			p.FreeAt(500), p.FreeAt(1500), p.FreeAt(2500))
+	}
+}
+
+// ---- checkpoint / rollback ----
+
+func TestProfileRollbackRestoresExactly(t *testing.T) {
+	p := NewProfile(16, 0)
+	_ = p.Reserve(0, 100, 5)
+	_ = p.Reserve(50, 150, 3)
+	before := append([]segment(nil), p.segs...)
+
+	mark := p.Checkpoint()
+	if err := p.Reserve(10, 60, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(120, 300, 8); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.Reserve(0, 1000, 100) // rejected: must not be journaled
+	p.Rollback(mark)
+
+	if len(p.segs) != len(before) {
+		t.Fatalf("segment count after rollback: %d, want %d", len(p.segs), len(before))
+	}
+	for i := range before {
+		if p.segs[i] != before[i] {
+			t.Fatalf("segment %d after rollback: %+v, want %+v", i, p.segs[i], before[i])
+		}
+	}
+}
+
+func TestProfileNestedCheckpoints(t *testing.T) {
+	p := NewProfile(8, 0)
+	outer := p.Checkpoint()
+	_ = p.Reserve(0, 10, 2)
+	afterOuter := append([]segment(nil), p.segs...)
+
+	inner := p.Checkpoint()
+	_ = p.Reserve(5, 20, 3)
+	_ = p.Reserve(0, 4, 1)
+	p.Rollback(inner)
+
+	if len(p.segs) != len(afterOuter) {
+		t.Fatalf("inner rollback: %d segments, want %d", len(p.segs), len(afterOuter))
+	}
+	for i := range afterOuter {
+		if p.segs[i] != afterOuter[i] {
+			t.Fatalf("inner rollback segment %d: %+v, want %+v", i, p.segs[i], afterOuter[i])
+		}
+	}
+	p.Rollback(outer)
+	if len(p.segs) != 1 || p.segs[0] != (segment{Time: 0, Free: 8}) {
+		t.Fatalf("outer rollback did not restore the fresh profile: %+v", p.segs)
+	}
+}
+
+func TestProfileRollbackFuzz(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := stats.NewRNG(seed)
+		p := NewProfile(32, 0)
+		// A random base load.
+		for i := 0; i < 10; i++ {
+			procs := r.Intn(8) + 1
+			dur := r.Int63n(300) + 1
+			start := p.FindStart(r.Int63n(500), dur, procs)
+			_ = p.Reserve(start, start+dur, procs)
+		}
+		before := append([]segment(nil), p.segs...)
+		mark := p.Checkpoint()
+		// A random trial: FindStart-placed and arbitrary (possibly rejected)
+		// reservations interleaved.
+		for i := 0; i < 15; i++ {
+			procs := r.Intn(40) + 1 // occasionally > total: always rejected
+			dur := r.Int63n(400) + 1
+			if r.Bool(0.5) {
+				start := p.FindStart(r.Int63n(800), dur, procs)
+				_ = p.Reserve(start, start+dur, procs)
+			} else {
+				start := r.Int63n(1200) - 100
+				_ = p.Reserve(start, start+dur, procs)
+			}
+		}
+		p.Rollback(mark)
+		if len(p.segs) != len(before) {
+			t.Fatalf("seed %d: %d segments after rollback, want %d", seed, len(p.segs), len(before))
+		}
+		for i := range before {
+			if p.segs[i] != before[i] {
+				t.Fatalf("seed %d: segment %d = %+v, want %+v", seed, i, p.segs[i], before[i])
+			}
+		}
+	}
+}
+
+// ---- differential fuzz: new vs old vs naive ----
+
+// TestProfileDifferentialOldVsNew drives the indexed skyline and the verbatim
+// pre-rewrite implementation through identical random op sequences — reserves
+// (feasible and infeasible, in- and out-of-range), FreeAt, MinFree and
+// FindStart probes — and requires identical answers and identical segment
+// lists throughout.
+func TestProfileDifferentialOldVsNew(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		r := stats.NewRNG(seed)
+		total := []int{1, 4, 32, 100}[r.Intn(4)]
+		from := r.Int63n(200) - 100
+		neu := NewProfile(total, from)
+		old := newOldProfile(total, from)
+		for step := 0; step < 120; step++ {
+			switch r.Intn(4) {
+			case 0: // reserve, FindStart-placed
+				procs := r.Intn(total+4) + 1
+				dur := r.Int63n(200) + 1
+				after := from + r.Int63n(400) - 50
+				sNew := neu.FindStart(after, dur, procs)
+				sOld := old.FindStart(after, dur, procs)
+				if sNew != sOld {
+					t.Fatalf("seed %d step %d: FindStart(%d,%d,%d) = %d, old %d",
+						seed, step, after, dur, procs, sNew, sOld)
+				}
+				errNew := neu.Reserve(sNew, sNew+dur, procs)
+				errOld := old.Reserve(sOld, sOld+dur, procs)
+				if (errNew == nil) != (errOld == nil) {
+					t.Fatalf("seed %d step %d: reserve disagreement: new %v, old %v",
+						seed, step, errNew, errOld)
+				}
+			case 1: // arbitrary reserve (often rejected)
+				procs := r.Intn(total+4) + 1
+				start := from + r.Int63n(500) - 150
+				end := start + r.Int63n(250) - 20
+				errNew := neu.Reserve(start, end, procs)
+				errOld := old.Reserve(start, end, procs)
+				if (errNew == nil) != (errOld == nil) {
+					t.Fatalf("seed %d step %d: reserve [%d,%d)x%d: new %v, old %v",
+						seed, step, start, end, procs, errNew, errOld)
+				}
+			case 2: // point and range probes
+				at := from + r.Int63n(500) - 150
+				if a, b := neu.FreeAt(at), old.FreeAt(at); a != b {
+					t.Fatalf("seed %d step %d: FreeAt(%d) = %d, old %d", seed, step, at, a, b)
+				}
+				lo := from + r.Int63n(500) - 150
+				hi := lo + r.Int63n(300) - 30
+				if a, b := neu.MinFree(lo, hi), old.MinFree(lo, hi); a != b {
+					t.Fatalf("seed %d step %d: MinFree(%d,%d) = %d, old %d", seed, step, lo, hi, a, b)
+				}
+			case 3: // FindStart probe, including zero/negative durations
+				procs := r.Intn(total+4) + 1
+				dur := r.Int63n(200) - 10
+				after := from + r.Int63n(500) - 150
+				if a, b := neu.FindStart(after, dur, procs), old.FindStart(after, dur, procs); a != b {
+					t.Fatalf("seed %d step %d: FindStart(%d,%d,%d) = %d, old %d",
+						seed, step, after, dur, procs, a, b)
+				}
+			}
+			if len(neu.segs) != len(old.segs) {
+				t.Fatalf("seed %d step %d: %d segments, old %d", seed, step, len(neu.segs), len(old.segs))
+			}
+			for i := range neu.segs {
+				if neu.segs[i] != old.segs[i] {
+					t.Fatalf("seed %d step %d: segment %d = %+v, old %+v",
+						seed, step, i, neu.segs[i], old.segs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestProfileDifferentialNaive checks the skyline against a per-timestep
+// counter array: after any accepted reservation sequence the free function
+// must agree at every instant of the horizon.
+func TestProfileDifferentialNaive(t *testing.T) {
+	const horizon = 2000
+	for seed := uint64(1); seed <= 25; seed++ {
+		r := stats.NewRNG(seed)
+		total := []int{2, 16, 64}[r.Intn(3)]
+		p := NewProfile(total, 0)
+		n := newNaiveProfile(total, 0, horizon)
+		for i := 0; i < 60; i++ {
+			procs := r.Intn(total) + 1
+			dur := r.Int63n(150) + 1
+			start := p.FindStart(r.Int63n(horizon/2), dur, procs)
+			if start+dur > horizon {
+				continue // keep the naive model's bounded horizon authoritative
+			}
+			err := p.Reserve(start, start+dur, procs)
+			ok := n.reserve(start, start+dur, procs)
+			if (err == nil) != ok {
+				t.Fatalf("seed %d: reserve [%d,%d)x%d: skyline %v, naive %v",
+					seed, start, start+dur, procs, err, ok)
+			}
+		}
+		for tm := int64(0); tm < horizon; tm++ {
+			if a, b := p.FreeAt(tm), n.freeAt(tm); a != b {
+				t.Fatalf("seed %d: FreeAt(%d) = %d, naive %d", seed, tm, a, b)
+			}
+		}
+	}
+}
+
+// TestProfileCanonicalForm pins the representation invariant the O(touched)
+// rollback relies on: no two adjacent segments ever share a free count.
+func TestProfileCanonicalForm(t *testing.T) {
+	r := stats.NewRNG(7)
+	p := NewProfile(24, 0)
+	check := func() {
+		for i := 1; i < len(p.segs); i++ {
+			if p.segs[i].Free == p.segs[i-1].Free {
+				t.Fatalf("adjacent segments %d,%d share free=%d: %+v",
+					i-1, i, p.segs[i].Free, p.segs)
+			}
+			if p.segs[i].Time <= p.segs[i-1].Time {
+				t.Fatalf("segments out of order at %d: %+v", i, p.segs)
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		procs := r.Intn(24) + 1
+		dur := r.Int63n(100) + 1
+		start := p.FindStart(r.Int63n(1000), dur, procs)
+		_ = p.Reserve(start, start+dur, procs)
+		check()
+		if r.Bool(0.2) {
+			mark := p.Checkpoint()
+			s := p.FindStart(r.Int63n(1000), 50, 3)
+			_ = p.Reserve(s, s+50, 3)
+			check()
+			p.Rollback(mark)
+			check()
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package eventq
+
+// Queue is the simulator's event queue, ordered by (Time, Kind, Seq) exactly
+// like Heap but organised as a calendar (bucket) queue (Brown 1988): pending
+// events hash by time into a ring of fixed-width buckets and a cursor walks
+// the ring monotonically, so Push and Pop are O(1) amortised instead of
+// O(log n) sift operations — the classic structure for discrete-event
+// simulators whose pending set (here: the running jobs' completions) stays
+// roughly stationary in time.
+//
+// Storage is an index-linked slab: events live in one reusable []Event slab
+// and each bucket is just an int32 head into a per-slot next-index list, so
+// pushes and pops write a single slab slot and a couple of int32 links —
+// no per-bucket slices to grow, no pointer-bearing memmoves for the garbage
+// collector to barrier (the naive [][]Event layout loses its heap win to
+// exactly that traffic).
+//
+// Events beyond the calendar horizon (base + buckets x width) overflow into
+// a Heap; whenever the cursor advances, matured overflow events migrate into
+// the window, so at rest every overflow event is no earlier than the horizon
+// and pop order over the combined structure is the exact total order. Events
+// at or before the cursor (pushed "in the past", which the engine does when
+// a job both starts and finishes within the current batch horizon) land in
+// the cursor's bucket, whose comparator scan orders them correctly. The
+// queue re-sizes itself to the pending-event distribution: when the
+// population outgrows the ring the calendar is rebuilt with the bucket count
+// tracking the population and the width tracking the mean inter-event gap;
+// when the ring badly outgrows a shrinking population it is rebuilt smaller
+// so cursor walks over empty buckets stay bounded.
+//
+// Small populations skip the calendar entirely: below promoteAt pending
+// events the queue runs as a plain binary heap (a 4-level sift is close to
+// free, and the cursor machinery would be pure overhead for the short-queue
+// phases of a replay) and promotes to the calendar only when the population
+// outgrows it, demoting back with wide hysteresis.
+//
+// The zero value is ready to use. Seq is assigned on Push in insertion
+// order; the property tests pin pop order against Heap on fuzzed batches.
+type Queue struct {
+	seq int
+
+	slab []Event // slot storage; slabNext links slots into bucket lists
+	next []int32 // next slot in the same bucket, -1 = end of list
+	free int32   // freelist head over vacated slots, -1 = none
+
+	heads []int32 // ring of bucket list heads, -1 = empty bucket
+	cur   int     // ring index of the current (earliest) bucket
+	base  int64   // start of the current bucket's time slice
+	width int64   // time covered by one bucket
+	n     int     // events stored in buckets (excluding overflow)
+
+	overflow Heap // events at or beyond the horizon when pushed
+
+	// cachedMin memoises the slab slot of the current minimum between
+	// queries: the engine peeks the same event two or three times before
+	// popping it (batch-time probe, drain-loop condition, then the pop), and
+	// the binary heap answered those in O(1) from h[0]. Invalidated by any
+	// push or pop.
+	cachedMin int32
+
+	// ops counts pushes and pops since the last rebuild; a rebuild triggered
+	// by overflow imbalance (window width or anchor gone stale while the
+	// population stayed level, so the size triggers never fire) is allowed
+	// only after at least Len() operations, keeping its O(n) cost amortised
+	// O(1) and rebuild thrash impossible.
+	ops int
+
+	scratch []Event // rebuild staging, reused
+}
+
+const (
+	minBuckets = 16
+	maxBuckets = 1 << 12
+	nilSlot    = -1
+
+	// promoteAt / demoteAt bound the heap-mode population: below ~promoteAt
+	// events a 4-level binary heap is close to free and the calendar's
+	// cursor-and-bucket machinery is pure overhead, so the queue starts as a
+	// plain heap (heads == nil) and only builds the calendar once the
+	// population outgrows it. The wide hysteresis gap makes mode switches
+	// (O(n) migrations) impossible to thrash.
+	promoteAt = 64
+	demoteAt  = 16
+)
+
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return q.n + q.overflow.Len() }
+
+// Push inserts an event, stamping its insertion sequence.
+func (q *Queue) Push(e Event) {
+	e.Seq = q.seq
+	q.seq++
+	if q.heads == nil {
+		// Heap mode: the whole population lives in the overflow heap.
+		q.overflow.Push(e)
+		if q.overflow.Len() > promoteAt {
+			q.rebuild() // promote: drains the heap into a sized calendar
+		}
+		return
+	}
+	q.place(e)
+	q.cachedMin = nilSlot
+	q.ops++
+	// Grow when the population outgrows the ring; re-anchor (amortised) when
+	// most pending events sit in the overflow heap — a mis-sized width or
+	// stale anchor would otherwise degrade the calendar to a heap with
+	// migration overhead on top.
+	if q.Len() > 2*len(q.heads) && len(q.heads) < maxBuckets {
+		q.rebuild()
+	} else if q.overflow.Len() > q.n+16 && q.ops > q.Len() {
+		q.rebuild()
+	}
+}
+
+// Peek returns the earliest event without removing it. ok is false when the
+// queue is empty.
+func (q *Queue) Peek() (Event, bool) {
+	if q.heads == nil {
+		return q.overflow.Peek()
+	}
+	if q.Len() == 0 {
+		return Event{}, false
+	}
+	mi := q.cachedMin
+	if mi == nilSlot {
+		q.advance()
+		mi = q.scanMin()
+		q.cachedMin = mi
+	}
+	return q.slab[mi], true
+}
+
+// Pop removes and returns the earliest event. ok is false when the queue is
+// empty.
+func (q *Queue) Pop() (Event, bool) {
+	if q.heads == nil {
+		return q.overflow.Pop()
+	}
+	if q.Len() == 0 {
+		return Event{}, false
+	}
+	mi := q.cachedMin
+	if mi == nilSlot {
+		q.advance()
+		mi = q.scanMin()
+	}
+	q.cachedMin = nilSlot
+	e := q.slab[mi]
+	q.unlink(mi)
+	q.ops++
+	if q.Len() < demoteAt {
+		q.demote()
+	} else if nb := len(q.heads); nb > minBuckets && q.Len() < nb/8 {
+		// Shrink when the ring has badly outgrown the population, so cursor
+		// walks over empty buckets stay bounded.
+		q.rebuild()
+	}
+	return e, true
+}
+
+// demote returns the queue to heap mode: the remaining population is pushed
+// into the overflow heap (Seq preserved, so order is unchanged) and the
+// calendar dismantled.
+func (q *Queue) demote() {
+	for i := range q.heads {
+		for s := q.heads[i]; s != nilSlot; s = q.next[s] {
+			q.overflow.Push(q.slab[s])
+		}
+	}
+	q.heads = nil
+	clear(q.slab)
+	q.slab = q.slab[:0]
+	q.next = q.next[:0]
+	q.free = nilSlot
+	q.cachedMin = nilSlot
+	q.ops = 0
+	q.n = 0
+}
+
+// scanMin returns the slab index of the comparator-least event in the
+// current (non-empty) bucket.
+func (q *Queue) scanMin() int32 {
+	mi := q.heads[q.cur]
+	for i := q.next[mi]; i != nilSlot; i = q.next[i] {
+		if less(q.slab[i], q.slab[mi]) {
+			mi = i
+		}
+	}
+	return mi
+}
+
+// unlink removes slot s from the current bucket's list and returns it to the
+// freelist.
+func (q *Queue) unlink(s int32) {
+	if q.heads[q.cur] == s {
+		q.heads[q.cur] = q.next[s]
+	} else {
+		for p := q.heads[q.cur]; ; p = q.next[p] {
+			if q.next[p] == s {
+				q.next[p] = q.next[s]
+				break
+			}
+		}
+	}
+	q.slab[s] = Event{} // drop the payload reference
+	q.next[s] = q.free
+	q.free = s
+	q.n--
+}
+
+// place routes an event to its bucket, or to the overflow heap when it lies
+// at or beyond the horizon. Events before the current bucket's slice go into
+// the current bucket (the comparator scan orders them).
+func (q *Queue) place(e Event) {
+	nb := int64(len(q.heads))
+	d := e.Time - q.base
+	switch {
+	case d < 0:
+		d = 0
+	case d >= nb*q.width:
+		q.overflow.Push(e)
+		return
+	default:
+		d /= q.width
+	}
+	i := q.cur + int(d)
+	if i >= len(q.heads) {
+		i -= len(q.heads)
+	}
+	s := q.free
+	if s == nilSlot {
+		s = int32(len(q.slab))
+		q.slab = append(q.slab, Event{})
+		q.next = append(q.next, nilSlot)
+	} else {
+		q.free = q.next[s]
+	}
+	q.slab[s] = e
+	q.next[s] = q.heads[i]
+	q.heads[i] = s
+	q.n++
+}
+
+// advance moves the cursor to the first non-empty bucket, migrating matured
+// overflow events into the window as the horizon grows, and jumping straight
+// to the overflow's earliest event when the ring is empty. Callers guarantee
+// Len() > 0.
+func (q *Queue) advance() {
+	for {
+		if q.heads[q.cur] != nilSlot {
+			return
+		}
+		if q.n == 0 {
+			// Ring empty: jump the window to the earliest overflow event.
+			e, ok := q.overflow.Peek()
+			if !ok {
+				return
+			}
+			q.cur = 0
+			q.base = e.Time
+			q.drainOverflow()
+			continue
+		}
+		q.cur++
+		if q.cur == len(q.heads) {
+			q.cur = 0
+		}
+		q.base += q.width
+		q.drainOverflow()
+	}
+}
+
+// drainOverflow migrates overflow events that now fall inside the window.
+func (q *Queue) drainOverflow() {
+	horizon := q.base + int64(len(q.heads))*q.width
+	for {
+		e, ok := q.overflow.Peek()
+		if !ok || e.Time >= horizon {
+			return
+		}
+		q.overflow.Pop()
+		q.place(e)
+	}
+}
+
+// rebuild re-sizes the calendar to the current population: the bucket count
+// tracks the number of pending events (one event per bucket on average) and
+// the bucket width their mean spacing, re-anchored at the earliest pending
+// time. O(n), amortised across the pushes/pops that triggered it.
+func (q *Queue) rebuild() {
+	q.cachedMin = nilSlot // slots are about to be relinked
+	q.ops = 0
+	events := q.scratch[:0]
+	for i := range q.heads {
+		for s := q.heads[i]; s != nilSlot; s = q.next[s] {
+			events = append(events, q.slab[s])
+		}
+		q.heads[i] = nilSlot
+	}
+	for {
+		e, ok := q.overflow.Pop()
+		if !ok {
+			break
+		}
+		events = append(events, e)
+	}
+	n := len(events)
+	if n == 0 {
+		q.scratch = events
+		return
+	}
+	minT, maxT := events[0].Time, events[0].Time
+	for _, e := range events[1:] {
+		if e.Time < minT {
+			minT = e.Time
+		}
+		if e.Time > maxT {
+			maxT = e.Time
+		}
+	}
+	nb := minBuckets
+	for nb < n && nb < maxBuckets {
+		nb *= 2
+	}
+	if len(q.heads) != nb {
+		q.heads = make([]int32, nb)
+	}
+	for i := range q.heads {
+		q.heads[i] = nilSlot
+	}
+	clear(q.slab)
+	for i := range q.next {
+		q.next[i] = nilSlot
+	}
+	q.slab = q.slab[:0]
+	q.next = q.next[:0]
+	q.free = nilSlot
+	q.width = (maxT - minT + int64(n)) / int64(n) // ~mean gap, >= 1
+	q.cur = 0
+	q.base = minT
+	q.n = 0
+	for _, e := range events {
+		q.place(e)
+	}
+	q.scratch = events[:0]
+}

@@ -1,9 +1,17 @@
-// Package eventq provides the binary-heap event queue used by the
-// discrete-event scheduling simulator. The optimised engine feeds arrivals
-// lazily from the submit-sorted trace and queues only Finish events here
-// (see internal/sim); the Arrive kind and the Finish-before-Arrive ordering
-// contract are retained for the reference kernel the differential test pins
-// the engine against, and for callers that do queue both kinds.
+// Package eventq provides the event queue of the discrete-event scheduling
+// simulator. The optimised engine feeds arrivals lazily from the
+// submit-sorted trace and queues only Finish events here (see internal/sim);
+// the Arrive kind and the Finish-before-Arrive ordering contract are
+// retained for the reference kernel the differential test pins the engine
+// against, and for callers that do queue both kinds.
+//
+// Queue is a calendar (bucket) queue: pending events hash into fixed-width
+// time buckets walked by a monotonically advancing cursor, with a binary
+// heap absorbing events beyond the calendar horizon (see calendar.go). Heap
+// is that binary heap on its own — the pre-calendar implementation, kept
+// both as the overflow structure and as the golden model the property tests
+// pin the calendar's pop order against. Both order events identically, by
+// (Time, Kind, Seq).
 package eventq
 
 // Kind distinguishes the event types of the scheduling simulator.
@@ -24,53 +32,11 @@ type Event struct {
 	Payload any
 }
 
-// Queue is a min-heap of events ordered by (Time, Kind, Seq): completions at
-// time t are processed before arrivals at t so freed processors are visible
-// to the newly arrived job, and insertion order breaks remaining ties for
-// determinism. The zero value is ready to use.
-type Queue struct {
-	h   []Event
-	seq int
-}
-
-// Len returns the number of queued events.
-func (q *Queue) Len() int { return len(q.h) }
-
-// Push inserts an event.
-func (q *Queue) Push(e Event) {
-	e.Seq = q.seq
-	q.seq++
-	q.h = append(q.h, e)
-	q.up(len(q.h) - 1)
-}
-
-// Peek returns the earliest event without removing it. ok is false when the
-// queue is empty.
-func (q *Queue) Peek() (Event, bool) {
-	if len(q.h) == 0 {
-		return Event{}, false
-	}
-	return q.h[0], true
-}
-
-// Pop removes and returns the earliest event. ok is false when the queue is
-// empty.
-func (q *Queue) Pop() (Event, bool) {
-	if len(q.h) == 0 {
-		return Event{}, false
-	}
-	top := q.h[0]
-	last := len(q.h) - 1
-	q.h[0] = q.h[last]
-	q.h = q.h[:last]
-	if last > 0 {
-		q.down(0)
-	}
-	return top, true
-}
-
-func (q *Queue) less(i, j int) bool {
-	a, b := q.h[i], q.h[j]
+// less is the total event order shared by the heap and the calendar queue:
+// completions at time t are processed before arrivals at t so freed
+// processors are visible to the newly arrived job, and insertion order
+// breaks remaining ties for determinism.
+func less(a, b Event) bool {
 	if a.Time != b.Time {
 		return a.Time < b.Time
 	}
@@ -81,10 +47,52 @@ func (q *Queue) less(i, j int) bool {
 	return a.Seq < b.Seq
 }
 
-func (q *Queue) up(i int) {
+// Heap is a min-heap of events ordered by (Time, Kind, Seq). Unlike Queue it
+// does not assign Seq — callers (the calendar queue, tests) manage insertion
+// sequence themselves. The zero value is ready to use.
+type Heap struct {
+	h []Event
+}
+
+// Len returns the number of heaped events.
+func (q *Heap) Len() int { return len(q.h) }
+
+// Push inserts an event, preserving its Seq.
+func (q *Heap) Push(e Event) {
+	q.h = append(q.h, e)
+	q.up(len(q.h) - 1)
+}
+
+// Peek returns the earliest event without removing it. ok is false when the
+// heap is empty.
+func (q *Heap) Peek() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return q.h[0], true
+}
+
+// Pop removes and returns the earliest event. ok is false when the heap is
+// empty.
+func (q *Heap) Pop() (Event, bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = Event{} // drop the payload reference
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+func (q *Heap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !less(q.h[i], q.h[parent]) {
 			return
 		}
 		q.h[i], q.h[parent] = q.h[parent], q.h[i]
@@ -92,15 +100,15 @@ func (q *Queue) up(i int) {
 	}
 }
 
-func (q *Queue) down(i int) {
+func (q *Heap) down(i int) {
 	n := len(q.h)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < n && q.less(l, smallest) {
+		if l < n && less(q.h[l], q.h[smallest]) {
 			smallest = l
 		}
-		if r < n && q.less(r, smallest) {
+		if r < n && less(q.h[r], q.h[smallest]) {
 			smallest = r
 		}
 		if smallest == i {

@@ -70,6 +70,84 @@ func TestPeekDoesNotRemove(t *testing.T) {
 	}
 }
 
+// TestCalendarMatchesHeap pins the calendar queue's pop order against the
+// binary heap — the pre-calendar implementation kept as the golden model —
+// on fuzzed event batches: clustered and spread times, both kinds, and
+// interleaved pushes and pops (which slide the calendar window and exercise
+// overflow migration, cursor jumps and rebuilds).
+func TestCalendarMatchesHeap(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		rng := stats.NewRNG(seed)
+		var cal Queue
+		var heap Heap
+		seq := 0
+		// Time regimes per seed: tight clusters, wide spreads, and a drifting
+		// "simulation clock" with completions scattered ahead of it.
+		regime := seed % 3
+		clock := int64(0)
+		nextTime := func() int64 {
+			switch regime {
+			case 0:
+				return rng.Int63n(50) // heavy ties, single-bucket clusters
+			case 1:
+				return rng.Int63n(1_000_000) // sparse, overflow-heavy
+			default:
+				clock += rng.Int63n(30)
+				return clock + rng.Int63n(5000) // drifting window
+			}
+		}
+		ops := int(rng.Int63n(400)) + 100
+		for op := 0; op < ops; op++ {
+			if rng.Bool(0.6) || cal.Len() == 0 {
+				e := Event{Time: nextTime(), Kind: Kind(rng.Intn(2)), Payload: op}
+				e.Seq = seq
+				seq++
+				heap.Push(e)
+				cal.Push(e) // Queue re-stamps Seq; same counter, same value
+			} else {
+				ce, cok := cal.Pop()
+				he, hok := heap.Pop()
+				if cok != hok || ce != he {
+					t.Fatalf("seed %d op %d: calendar popped %+v (%v), heap %+v (%v)",
+						seed, op, ce, cok, he, hok)
+				}
+			}
+			if cal.Len() != heap.Len() {
+				t.Fatalf("seed %d op %d: calendar len %d, heap len %d", seed, op, cal.Len(), heap.Len())
+			}
+		}
+		// Drain both completely.
+		for heap.Len() > 0 {
+			ce, cok := cal.Pop()
+			he, hok := heap.Pop()
+			if cok != hok || ce != he {
+				t.Fatalf("seed %d drain: calendar popped %+v (%v), heap %+v (%v)", seed, ce, cok, he, hok)
+			}
+		}
+		if cal.Len() != 0 {
+			t.Fatalf("seed %d: calendar retains %d events after heap drained", seed, cal.Len())
+		}
+	}
+}
+
+// TestCalendarPeekMatchesPop pins that Peek always previews exactly the
+// event the next Pop returns, across window advances and rebuilds.
+func TestCalendarPeekMatchesPop(t *testing.T) {
+	rng := stats.NewRNG(4)
+	var q Queue
+	for op := 0; op < 2000; op++ {
+		if rng.Bool(0.55) || q.Len() == 0 {
+			q.Push(Event{Time: rng.Int63n(10000), Kind: Kind(rng.Intn(2)), Payload: op})
+		} else {
+			pe, pok := q.Peek()
+			ge, gok := q.Pop()
+			if pok != gok || pe != ge {
+				t.Fatalf("op %d: Peek %+v (%v) but Pop %+v (%v)", op, pe, pok, ge, gok)
+			}
+		}
+	}
+}
+
 // Property: popping yields events in non-decreasing time order for any
 // random push sequence, possibly interleaved with pops.
 func TestHeapProperty(t *testing.T) {

@@ -49,7 +49,14 @@ func (s Scale) shardWeight(p *pool.Pool, jobs int) int {
 	if !s.Shard.Active(jobs) {
 		return 1
 	}
-	windows := (jobs + s.Shard.Window - 1) / s.Shard.Window
+	// Wall-clock windows (WindowSeconds, which takes precedence over Window,
+	// matching shard.Config.cutIndices) can't be counted from the job count
+	// alone; the worker budget bounds them instead (a weight above the real
+	// window count only under-subscribes, never deadlocks).
+	windows := jobs
+	if s.Shard.Window > 0 && s.Shard.WindowSeconds == 0 {
+		windows = (jobs + s.Shard.Window - 1) / s.Shard.Window
+	}
 	return min(s.Shard.WorkerCount(), p.Capacity(), windows)
 }
 

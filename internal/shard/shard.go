@@ -7,10 +7,13 @@
 // # Window/overlap model
 //
 // A trace of n jobs is cut into ceil(n/Window) consecutive windows of
-// Window jobs. Window w owns jobs [w*Window, (w+1)*Window) — its "proper"
-// region — but replays the wider range
+// Window jobs — or, with Config.WindowSeconds, into windows owning the jobs
+// submitted within consecutive fixed-width slices of simulated time (empty
+// slices vanish), which keeps window sizing independent of arrival
+// burstiness. Either way window w owns a contiguous index range
+// [cuts[w], cuts[w+1]) — its "proper" region — but replays the wider range
 //
-//	[w*Window - Overlap, (w+1)*Window + Overlap)
+//	[cuts[w] - Overlap, cuts[w+1] + Overlap)
 //
 // clamped to the trace. The leading Overlap jobs are the warm-up: replaying
 // them from a cold cluster rebuilds the backlog (queue + running set) the
@@ -63,8 +66,18 @@ const DefaultMinJobs = 2048
 // Config selects the sharded-replay geometry. The zero value disables
 // sharding entirely.
 type Config struct {
-	// Window is the number of jobs each window owns. 0 disables sharding.
+	// Window is the number of jobs each window owns. 0 disables job-count
+	// windows.
 	Window int
+	// WindowSeconds, when > 0, cuts windows at fixed simulated-time
+	// boundaries instead of fixed job counts: window k owns the jobs
+	// submitted in [t0 + k*WindowSeconds, t0 + (k+1)*WindowSeconds), with t0
+	// the trace's first submit time and empty windows skipped. Wall-clock
+	// cuts keep window sizing independent of arrival burstiness on archives
+	// with very uneven rates. Takes precedence over Window when both are
+	// set. Overlap remains job-based either way — the warm-up/cool-down
+	// exactness argument is about backlog depth, not elapsed time.
+	WindowSeconds int64
 	// Overlap is the number of jobs replayed on each flank of a window
 	// (warm-up before, cool-down after) and discarded. Larger overlaps make
 	// the stitch exact at the cost of duplicated simulation work.
@@ -79,7 +92,7 @@ type Config struct {
 }
 
 // Enabled reports whether sharding is configured at all.
-func (c Config) Enabled() bool { return c.Window > 0 }
+func (c Config) Enabled() bool { return c.Window > 0 || c.WindowSeconds > 0 }
 
 // Active reports whether a trace of n jobs would actually be sharded: the
 // config must be enabled and the trace at least MinJobs long.
@@ -134,7 +147,8 @@ func ReplayWith(t *trace.Trace, policy sched.Policy, mkBF func() backfill.Backfi
 	if !sc.Active(n) {
 		return sequential(t, sim.Config{Policy: policy, Backfiller: mkBF()})
 	}
-	numWin := (n + sc.Window - 1) / sc.Window
+	cuts := sc.cutIndices(t)
+	numWin := len(cuts) - 1
 	if numWin <= 1 {
 		return sequential(t, sim.Config{Policy: policy, Backfiller: mkBF()})
 	}
@@ -148,7 +162,8 @@ func ReplayWith(t *trace.Trace, policy sched.Policy, mkBF func() backfill.Backfi
 	for w := 0; w < numWin; w++ {
 		w := w
 		g.Go(1, func() error {
-			errs[w] = replayWindow(t, sim.Config{Policy: policy, Backfiller: mkBF()}, sc, w, index, records)
+			errs[w] = replayWindow(t, sim.Config{Policy: policy, Backfiller: mkBF()}, sc,
+				cuts[w], cuts[w+1], index, records)
 			return nil // indexed slots give deterministic error selection
 		})
 	}
@@ -161,16 +176,41 @@ func ReplayWith(t *trace.Trace, policy sched.Policy, mkBF func() backfill.Backfi
 	return &sim.Result{Records: records, Summary: metrics.Summarize(records, t.Procs)}, nil
 }
 
-// replayWindow simulates window w's extended range on a fresh engine and
-// writes the proper region's records into their trace-order slots of out.
-// The replay stops as soon as every owned job has started — a record's End
-// is fixed at start time — so the drain of the cool-down region is never
-// simulated.
-func replayWindow(t *trace.Trace, cfg sim.Config, sc Config, w int,
+// cutIndices returns the proper-region boundaries in job-index space:
+// cuts[w] .. cuts[w+1] is window w's owned range, covering [0, n) exactly.
+// Job-count mode cuts every Window jobs; wall-clock mode cuts where a job's
+// submit time crosses a WindowSeconds boundary (traces are submit-sorted, so
+// time windows are contiguous index ranges; empty windows vanish).
+func (c Config) cutIndices(t *trace.Trace) []int {
+	n := t.Len()
+	if c.WindowSeconds > 0 {
+		cuts := make([]int, 1, 16)
+		t0 := t.Jobs[0].Submit
+		w := c.WindowSeconds
+		cur := int64(0) // window id of the previous job
+		for i := 1; i < n; i++ {
+			if id := (t.Jobs[i].Submit - t0) / w; id != cur {
+				cuts = append(cuts, i)
+				cur = id
+			}
+		}
+		return append(cuts, n)
+	}
+	cuts := make([]int, 0, (n+c.Window-1)/c.Window+1)
+	for i := 0; i < n; i += c.Window {
+		cuts = append(cuts, i)
+	}
+	return append(cuts, n)
+}
+
+// replayWindow simulates one window's extended range on a fresh engine and
+// writes the proper region [propStart, propEnd)'s records into their
+// trace-order slots of out. The replay stops as soon as every owned job has
+// started — a record's End is fixed at start time — so the drain of the
+// cool-down region is never simulated.
+func replayWindow(t *trace.Trace, cfg sim.Config, sc Config, propStart, propEnd int,
 	index map[*trace.Job]int, out []metrics.Record) error {
 	n := t.Len()
-	propStart := w * sc.Window
-	propEnd := min(propStart+sc.Window, n)
 	lo := max(propStart-sc.Overlap, 0)
 	hi := min(propEnd+sc.Overlap, n)
 	// The sub-trace shares job pointers with t: engines never mutate jobs,
@@ -184,7 +224,8 @@ func replayWindow(t *trace.Trace, cfg sim.Config, sc Config, w int,
 	seen, done := 0, 0
 	for seen < need {
 		if !e.Step() {
-			return fmt.Errorf("shard: window %d drained with %d of %d owned jobs unstarted", w, need-seen, need)
+			return fmt.Errorf("shard: window [%d,%d) drained with %d of %d owned jobs unstarted",
+				propStart, propEnd, need-seen, need)
 		}
 		recs := e.Records()
 		for ; done < len(recs); done++ {

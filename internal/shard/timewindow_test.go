@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestShardTimeWindowDifferential pins the wall-clock window mode against
+// the sequential replay at two cut widths (a handful of wide windows and
+// many narrow ones), for a no-backfill, an EASY and a profile-based
+// strategy: with sufficient overlap the stitch must stay byte-identical
+// regardless of where the time boundaries land relative to arrival bursts.
+func TestShardTimeWindowDifferential(t *testing.T) {
+	tr := moderateLoadTrace(2500)
+	span := tr.Jobs[tr.Len()-1].Submit - tr.Jobs[0].Submit
+	if span <= 0 {
+		t.Fatalf("degenerate trace span %d", span)
+	}
+	for _, div := range []int64{4, 11} {
+		secs := span/div + 1
+		cfg := Config{WindowSeconds: secs, Overlap: 512, MinJobs: 1}
+		if got := len(cfg.cutIndices(tr)) - 1; got < 2 {
+			t.Fatalf("div=%d: only %d windows; widen the test trace", div, got)
+		}
+		for _, s := range []int{0, 1, 3} { // none, EASY, conservative
+			st := strategies[s]
+			seq := sequentialResult(t, tr, st.mk)
+			sh := shardedResult(t, tr, st.mk, cfg)
+			if bad, ok := recordsEqual(seq.Records, sh.Records); !ok {
+				t.Errorf("%s at %ds windows: %d of %d records differ from sequential",
+					st.name, secs, bad, len(seq.Records))
+				continue
+			}
+			if seq.Summary != sh.Summary {
+				t.Errorf("%s at %ds windows: summaries differ", st.name, secs)
+			}
+		}
+	}
+}
+
+// TestShardTimeWindowCuts pins cutIndices directly: boundaries land where
+// submit times cross multiples of WindowSeconds from the first submit,
+// windows are contiguous and exhaustive, and empty time slices (arrival
+// gaps) produce no empty windows.
+func TestShardTimeWindowCuts(t *testing.T) {
+	tr := &trace.Trace{Name: "gaps", Procs: 4}
+	// Bursts at t=0..9, t=1000..1009, one straggler at t=5000: a 100s window
+	// width leaves dozens of empty slices between bursts.
+	id := 1
+	for _, base := range []int64{0, 1000, 5000} {
+		n := 10
+		if base == 5000 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			tr.Jobs = append(tr.Jobs, &trace.Job{ID: id, Submit: base + int64(i), Runtime: 5, Request: 10, Procs: 1})
+			id++
+		}
+	}
+	cfg := Config{WindowSeconds: 100, Overlap: 4, MinJobs: 1}
+	cuts := cfg.cutIndices(tr)
+	want := []int{0, 10, 20, 21}
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v, want %v", cuts, want)
+	}
+	for i := range want {
+		if cuts[i] != want[i] {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+	// And the stitched replay over those windows is exact.
+	seq := sequentialResult(t, tr, strategies[1].mk)
+	sh := shardedResult(t, tr, strategies[1].mk, cfg)
+	if bad, ok := recordsEqual(seq.Records, sh.Records); !ok {
+		t.Fatalf("gap trace: %d records differ", bad)
+	}
+
+	// Job-count mode must be unchanged by the new field.
+	jc := Config{Window: 7, Overlap: 4, MinJobs: 1}
+	cuts = jc.cutIndices(tr)
+	if cuts[0] != 0 || cuts[len(cuts)-1] != tr.Len() || len(cuts) != 4 {
+		t.Fatalf("job-count cuts = %v", cuts)
+	}
+}
