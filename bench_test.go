@@ -236,6 +236,31 @@ func BenchmarkSimulatorEASY(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorPriorityMem measures the enriched-scenario replay cost:
+// the EASY workload with per-job memory demands, priority tiers, and the
+// aging starvation bound all active. The delta against BenchmarkSimulatorEASY
+// is the full price of the scenario semantics (vector cluster accounting,
+// scenario queue order, wake events, starving-job protections).
+func BenchmarkSimulatorPriorityMem(b *testing.B) {
+	tr, err := trace.Enrich(trace.SyntheticSDSCSP2(2000, 1),
+		trace.EnrichSpec{MemDist: trace.MemDistProp, PriorityTiers: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scn := sched.Scenario{Priorities: true, StarvationBound: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr.Clone(), sim.Config{
+			Policy:     sched.FCFS{},
+			Scenario:   scn,
+			Backfiller: &backfill.EASY{Est: backfill.RequestTime{}, Scn: scn},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorConservative measures the profile-based conservative
 // backfilling cost on the same workload.
 func BenchmarkSimulatorConservative(b *testing.B) {

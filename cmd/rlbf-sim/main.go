@@ -37,6 +37,11 @@ func main() {
 	shardSeconds := flag.Int64("shard-seconds", 0, "simulated seconds per shard window (wall-clock cuts; takes precedence over -shard-window)")
 	shardOverlap := flag.Int("shard-overlap", 512, "warm-up/cool-down jobs replayed on each window flank")
 	shardWorkers := flag.Int("shard-workers", 0, "concurrently simulated windows (0 = GOMAXPROCS)")
+	memDist := flag.String("mem-dist", trace.MemDistNone, "enrich the trace with per-job memory demands: none, prop or uniform")
+	memPerProc := flag.Int("mem-per-proc", 0, "machine memory per processor in KB when enriching")
+	tiers := flag.Int("priority-tiers", 0, "enrich the trace with geometric priority tiers (0 or 1 = none)")
+	priorities := flag.Bool("priorities", false, "schedule with priority-tier ordering")
+	starvationBound := flag.Float64("starvation-bound", 0, "aging bound: a job starves once wait exceeds bound x request (0 = off)")
 	flag.Parse()
 
 	policy, err := sched.ByNameExtended(*policyArg)
@@ -47,6 +52,13 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	spec := trace.EnrichSpec{MemDist: *memDist, MemPerProc: *memPerProc, PriorityTiers: *tiers, Seed: *seed}
+	if spec.Enabled() {
+		if tr, err = trace.Enrich(tr, spec); err != nil {
+			fatal("%v", err)
+		}
+	}
+	scn := sched.Scenario{Priorities: *priorities, StarvationBound: *starvationBound}
 	est := experiments.Estimator(tr)
 	if *noise > 0 {
 		est = backfill.Noisy{Level: *noise, Seed: *seed + 77}
@@ -56,15 +68,17 @@ func main() {
 	switch strings.ToLower(*bfArg) {
 	case "none":
 	case "easy":
-		bf = backfill.NewEASY(est)
+		bf = &backfill.EASY{Est: est, Scn: scn}
 	case "easy-ar":
-		bf = backfill.NewEASY(backfill.ActualRuntime{})
+		bf = &backfill.EASY{Est: backfill.ActualRuntime{}, Scn: scn}
 	case "easy-sjf":
-		bf = &backfill.EASY{Est: est, Order: backfill.SJFOrder}
+		bf = &backfill.EASY{Est: est, Order: backfill.SJFOrder, Scn: scn}
 	case "conservative":
 		bf = backfill.NewConservative(est)
 	case "slack":
-		bf = backfill.NewSlack(est)
+		s := backfill.NewSlack(est)
+		s.Scn = scn
+		bf = s
 	case "rlbf":
 		if *modelArg == "" {
 			fatal("-backfill rlbf needs -model")
@@ -104,7 +118,7 @@ func main() {
 	// cannot reproduce, so the sparkline exists only in sequential mode.
 	var probe *sim.TimelineProbe
 	var shardCfg shard.Config
-	simCfg := sim.Config{Policy: policy, Backfiller: bf}
+	simCfg := sim.Config{Policy: policy, Scenario: scn, Backfiller: bf}
 	if sharded {
 		shardCfg = shard.Config{Window: *shardWindow, WindowSeconds: *shardSeconds,
 			Overlap: *shardOverlap, MinJobs: 1, Workers: *shardWorkers}

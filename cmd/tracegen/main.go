@@ -5,6 +5,12 @@
 // Usage:
 //
 //	tracegen -workload lublin-1 -n 10000 -seed 7 -o lublin1.swf
+//	tracegen -workload sdsc-sp2 -mem-dist prop -priority-tiers 3 -o sdsc-sc.swf
+//
+// The -mem-dist and -priority-tiers flags enrich the workload with per-job
+// memory demands and priority tiers (the scenario dimensions); the SWF output
+// then carries a MaxMemory header, requested-memory column and queue-encoded
+// tiers, and round-trips through the parser.
 package main
 
 import (
@@ -21,12 +27,23 @@ func main() {
 	n := flag.Int("n", 10000, "number of jobs")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output SWF path (default stdout)")
+	memDist := flag.String("mem-dist", trace.MemDistNone, "per-job memory enrichment: none, prop or uniform")
+	memPerProc := flag.Int("mem-per-proc", 0, "machine memory per processor in KB (default "+fmt.Sprint(trace.DefaultMemPerProc)+" when enriching)")
+	tiers := flag.Int("priority-tiers", 0, "priority tiers to synthesize (geometric; 0 or 1 = none)")
 	flag.Parse()
 
 	tr, err := experiments.ResolveTrace(*workload, *n, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
+	}
+	spec := trace.EnrichSpec{MemDist: *memDist, MemPerProc: *memPerProc, PriorityTiers: *tiers, Seed: *seed}
+	if spec.Enabled() {
+		tr, err = trace.Enrich(tr, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	w := os.Stdout
 	if *out != "" {

@@ -19,6 +19,9 @@ import (
 func main() {
 	n := flag.Int("n", 10000, "jobs to generate for built-in workloads (SWF files use all jobs)")
 	seed := flag.Uint64("seed", 1, "generator seed for built-in workloads")
+	memDist := flag.String("mem-dist", trace.MemDistNone, "enrich with per-job memory demands before reporting: none, prop or uniform")
+	memPerProc := flag.Int("mem-per-proc", 0, "machine memory per processor in KB when enriching")
+	tiers := flag.Int("priority-tiers", 0, "enrich with geometric priority tiers before reporting (0 or 1 = none)")
 	flag.Parse()
 
 	args := flag.Args()
@@ -33,7 +36,19 @@ func main() {
 			exit = 1
 			continue
 		}
-		fmt.Println(trace.ComputeStats(tr).String())
+		spec := trace.EnrichSpec{MemDist: *memDist, MemPerProc: *memPerProc, PriorityTiers: *tiers, Seed: *seed}
+		if spec.Enabled() {
+			if tr, err = trace.Enrich(tr, spec); err != nil {
+				fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+				exit = 1
+				continue
+			}
+		}
+		st := trace.ComputeStats(tr)
+		fmt.Println(st.String())
+		if pt := st.PriorityTable(); pt != "" {
+			fmt.Printf("%-10s tier distribution: %s\n", "", pt)
+		}
 	}
 	os.Exit(exit)
 }

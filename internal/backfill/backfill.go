@@ -37,6 +37,39 @@ type State interface {
 	StartJob(j *trace.Job)
 }
 
+// MemState is implemented by States whose machine carries the memory
+// dimension. It is optional so that procs-only engines (and test fakes)
+// need not know memory exists; backfillers probe for it via MemOf.
+type MemState interface {
+	// FreeMem returns the idle memory units.
+	FreeMem() int
+	// TotalMem returns the machine memory capacity; 0 disables the
+	// dimension even if jobs carry memory requests.
+	TotalMem() int
+}
+
+// MemOf returns the state's free and total memory, or (0, 0) when the state
+// has no memory dimension. A zero total is the single switch that turns
+// every memory comparison in this package into a no-op.
+func MemOf(st State) (free, total int) {
+	if ms, ok := st.(MemState); ok {
+		if t := ms.TotalMem(); t > 0 {
+			return ms.FreeMem(), t
+		}
+	}
+	return 0, 0
+}
+
+// memDemand returns the job's memory request, or 0 when the dimension is
+// off (memTotal == 0), so comparisons against free/extra memory degenerate
+// to 0 <= x.
+func memDemand(j *trace.Job, memTotal int) int {
+	if memTotal == 0 {
+		return 0
+	}
+	return j.Mem
+}
+
 // Backfiller selects lower-priority jobs to run when the head of the queue
 // cannot start. Backfill is invoked with the head job (the paper's "relative
 // job", rjob) and the rest of the waiting queue in base-policy order; the
@@ -59,11 +92,12 @@ type Cloneable interface {
 }
 
 // Reservation is the head job's earliest-start guarantee under a given
-// estimator: the shadow time at which enough processors free up, and the
-// processors left over ("extra") at that moment.
+// estimator: the shadow time at which enough resources free up, and the
+// resources left over ("extra") at that moment.
 type Reservation struct {
-	Shadow int64 // earliest estimated start time of the head job
-	Extra  int   // processors free at Shadow beyond the head's need
+	Shadow   int64 // earliest estimated start time of the head job
+	Extra    int   // processors free at Shadow beyond the head's need
+	ExtraMem int   // memory free at Shadow beyond the head's need (0 when off)
 }
 
 // jobEnd decorates one running job with its estimated completion so the
@@ -73,6 +107,7 @@ type jobEnd struct {
 	end   int64
 	id    int
 	procs int
+	mem   int
 }
 
 // jobEnds orders by (end, id) — a total order (IDs are unique), so any sort
@@ -102,11 +137,15 @@ type ReservationScratch struct {
 // Compute derives the head job's reservation from the running jobs'
 // estimated completions (start + estimate). This is the core EASY
 // bookkeeping (§2.1.3); the RL agent reuses it to detect reservation
-// violations.
+// violations. With a memory dimension the shadow is the first completion at
+// which both the processor and the memory demand are met; without one, the
+// memory terms are identically zero and the walk is the classic one.
 func (s *ReservationScratch) Compute(st State, head *trace.Job, est Estimator) Reservation {
 	free := st.FreeProcs()
-	if free >= head.Procs {
-		return Reservation{Shadow: st.Now(), Extra: free - head.Procs}
+	memFree, memTotal := MemOf(st)
+	needMem := memDemand(head, memTotal)
+	if free >= head.Procs && memFree >= needMem {
+		return Reservation{Shadow: st.Now(), Extra: free - head.Procs, ExtraMem: memFree - needMem}
 	}
 	running := st.Running()
 	if cap(s.ends) < len(running) {
@@ -114,20 +153,22 @@ func (s *ReservationScratch) Compute(st State, head *trace.Job, est Estimator) R
 	}
 	s.ends = s.ends[:len(running)]
 	for i, r := range running {
-		s.ends[i] = jobEnd{end: r.Start + est.Estimate(r.Job), id: r.Job.ID, procs: r.Job.Procs}
+		s.ends[i] = jobEnd{end: r.Start + est.Estimate(r.Job), id: r.Job.ID, procs: r.Job.Procs, mem: memDemand(r.Job, memTotal)}
 	}
 	sort.Sort(&s.ends)
 	avail := free
+	availMem := memFree
 	for _, r := range s.ends {
 		avail += r.procs
-		if avail >= head.Procs {
+		availMem += r.mem
+		if avail >= head.Procs && availMem >= needMem {
 			end := r.end
 			if end < st.Now() {
 				// The job has outlived its estimate (possible when the
 				// estimator underestimates); it can finish at any moment.
 				end = st.Now()
 			}
-			return Reservation{Shadow: end, Extra: avail - head.Procs}
+			return Reservation{Shadow: end, Extra: avail - head.Procs, ExtraMem: availMem - needMem}
 		}
 	}
 	// Unreachable for valid traces (head.Procs <= machine size), but return

@@ -10,6 +10,13 @@ import (
 // backfilled only if starting it now delays no earlier reservation. It is
 // stricter than EASY (which protects only the head job) and is used here as
 // an ablation baseline rather than a paper table entry.
+//
+// Scenario semantics come for free: the engine hands the queue over in
+// scenario order (starving first, then priority tiers), the base plan
+// reserves in that order so higher tiers hold earlier reservations, and the
+// zero-slip limits already guarantee no reservation — starving or not — ever
+// moves later. On memory-carrying machines every reservation spans both
+// resource dimensions via the shared planner's vector profile.
 type Conservative struct {
 	Est Estimator
 

@@ -3,6 +3,7 @@ package backfill
 import (
 	"sort"
 
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -30,26 +31,42 @@ type EASY struct {
 	Est Estimator
 	// Order controls candidate scan order (PolicyOrder by default).
 	Order CandidateOrder
+	// Scn layers priority tiers and the starvation bound onto the scan:
+	// with aging on, every starving queued job's reservation becomes
+	// blocking (kube-batch StarvationThreshold semantics) — a candidate
+	// must respect the head's AND every starving job's shadow/extra. The
+	// zero scenario reproduces classic EASY exactly.
+	Scn sched.Scenario
 
 	// Reusable scratch: EASY runs on every blocked scheduling event, so the
 	// candidate decoration and reservation buffers are kept across calls.
 	res   ReservationScratch
 	cands []estimated
+	prots []protection
 }
 
-// estimated decorates a candidate with its runtime estimate, computed once
-// per backfill round rather than per comparison and again per scan.
+// estimated decorates a candidate with its runtime estimate (and, when a
+// scenario is active, its scan-order keys), computed once per backfill round
+// rather than per comparison and again per scan.
 type estimated struct {
+	job      *trace.Job
+	est      int64
+	starving bool
+	pri      int
+}
+
+// protection is one starving job's blocking reservation during a round.
+type protection struct {
 	job *trace.Job
-	est int64
+	res Reservation
 }
 
 // NewEASY returns EASY backfilling with the given estimator and the classic
 // policy-order candidate scan.
 func NewEASY(est Estimator) *EASY { return &EASY{Est: est} }
 
-// Fresh implements Cloneable: same estimator and scan order, own scratch.
-func (e *EASY) Fresh() Backfiller { return &EASY{Est: e.Est, Order: e.Order} }
+// Fresh implements Cloneable: same configuration, own scratch.
+func (e *EASY) Fresh() Backfiller { return &EASY{Est: e.Est, Order: e.Order, Scn: e.Scn} }
 
 // Name implements Backfiller.
 func (e *EASY) Name() string {
@@ -65,40 +82,110 @@ func (e *EASY) Backfill(st State, head *trace.Job, queue []*trace.Job) {
 	res := e.res.Compute(st, head, e.Est)
 	now := st.Now()
 	free := st.FreeProcs()
+	memFree, memTotal := MemOf(st)
 	extra := res.Extra
+	extraMem := res.ExtraMem
 
+	// With aging on, every starving queued job gets its own blocking
+	// reservation, computed EASY-style against the running set. Candidates
+	// must then clear the head's shadow AND every starving job's.
+	e.prots = e.prots[:0]
+	if e.Scn.Aging() {
+		for _, j := range queue {
+			if e.Scn.Starving(j, now) {
+				e.prots = append(e.prots, protection{job: j, res: e.res.Compute(st, j, e.Est)})
+			}
+		}
+	}
+
+	scnOrder := e.Scn.Enabled()
 	if cap(e.cands) < len(queue) {
 		e.cands = make([]estimated, len(queue))
 	}
 	cands := e.cands[:len(queue)]
 	for i, j := range queue {
 		cands[i] = estimated{job: j, est: e.Est.Estimate(j)}
+		if scnOrder {
+			cands[i].starving = e.Scn.Starving(j, now)
+			cands[i].pri = j.Priority
+		}
 	}
 	if e.Order == SJFOrder {
-		sort.SliceStable(cands, func(a, b int) bool {
-			if cands[a].est != cands[b].est {
-				return cands[a].est < cands[b].est
-			}
-			return cands[a].job.ID < cands[b].job.ID
-		})
+		if scnOrder {
+			// Starving first, then higher tiers, then the classic
+			// shortest-estimate order. With uniform tiers and nobody
+			// starving this is exactly the classic comparison.
+			pri := e.Scn.Priorities
+			sort.SliceStable(cands, func(a, b int) bool {
+				if cands[a].starving != cands[b].starving {
+					return cands[a].starving
+				}
+				if pri && cands[a].pri != cands[b].pri {
+					return cands[a].pri > cands[b].pri
+				}
+				if cands[a].est != cands[b].est {
+					return cands[a].est < cands[b].est
+				}
+				return cands[a].job.ID < cands[b].job.ID
+			})
+		} else {
+			sort.SliceStable(cands, func(a, b int) bool {
+				if cands[a].est != cands[b].est {
+					return cands[a].est < cands[b].est
+				}
+				return cands[a].job.ID < cands[b].job.ID
+			})
+		}
 	}
 
 	for _, c := range cands {
 		j := c.job
-		if j.Procs > free {
+		jm := memDemand(j, memTotal)
+		if j.Procs > free || jm > memFree {
 			continue
 		}
-		endsByShadow := now+c.est <= res.Shadow
-		usesExtraOnly := j.Procs <= extra
+		end := now + c.est
+		endsByShadow := end <= res.Shadow
+		usesExtraOnly := j.Procs <= extra && jm <= extraMem
 		if !endsByShadow && !usesExtraOnly {
+			continue
+		}
+		clear := true
+		for pi := range e.prots {
+			p := &e.prots[pi]
+			if p.job == j {
+				continue // a starving job is not blocked by its own reservation
+			}
+			if end <= p.res.Shadow || (j.Procs <= p.res.Extra && jm <= p.res.ExtraMem) {
+				continue
+			}
+			clear = false
+			break
+		}
+		if !clear {
 			continue
 		}
 		st.StartJob(j)
 		free -= j.Procs
+		memFree -= jm
 		if !endsByShadow {
 			// The job runs past the shadow time, so it permanently consumes
 			// part of the head job's surplus.
 			extra -= j.Procs
+			extraMem -= jm
+		}
+		for pi := 0; pi < len(e.prots); pi++ {
+			p := &e.prots[pi]
+			if p.job == j {
+				// The starving job itself started; its reservation is moot.
+				e.prots = append(e.prots[:pi], e.prots[pi+1:]...)
+				pi--
+				continue
+			}
+			if end > p.res.Shadow {
+				p.res.Extra -= j.Procs
+				p.res.ExtraMem -= jm
+			}
 		}
 		if free == 0 {
 			return

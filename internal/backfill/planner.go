@@ -24,7 +24,7 @@ type planEntry struct {
 // (DESIGN.md §9). All storage is reused across rounds; a planner is not
 // goroutine-safe (backfillers are cloned per worker, see Cloneable).
 type planner struct {
-	prof   cluster.Profile
+	prof   cluster.VecProfile
 	spans  []cluster.Span
 	plan   []planEntry // base placement, in policy order: head first, then queue
 	limit  []int64     // latest admissible start per plan entry during trials
@@ -34,18 +34,20 @@ type planner struct {
 // fill resets the profile to the availability implied by the running jobs'
 // estimated completions. A job that has outlived its estimate (end <= now)
 // is assumed to release imminently (now + 1). Running jobs always fit by
-// construction.
-func (pl *planner) fill(st State, est Estimator, now int64) *cluster.Profile {
+// construction. On a memory-carrying machine (MemState with TotalMem > 0)
+// the profile tracks both dimensions; otherwise it is the scalar skyline.
+func (pl *planner) fill(st State, est Estimator, now int64) *cluster.VecProfile {
 	running := st.Running()
+	_, memTotal := MemOf(st)
 	pl.spans = pl.spans[:0]
 	for _, r := range running {
 		end := r.Start + est.Estimate(r.Job)
 		if end <= now {
 			end = now + 1
 		}
-		pl.spans = append(pl.spans, cluster.Span{End: end, Procs: r.Job.Procs})
+		pl.spans = append(pl.spans, cluster.Span{End: end, Procs: r.Job.Procs, Mem: memDemand(r.Job, memTotal)})
 	}
-	pl.prof.ResetSpans(st.TotalProcs(), now, pl.spans)
+	pl.prof.ResetSpans(st.TotalProcs(), memTotal, now, pl.spans)
 	return &pl.prof
 }
 
@@ -55,7 +57,7 @@ func (pl *planner) fill(st State, est Estimator, now int64) *cluster.Profile {
 // mode records the found start and moves on (Slack, matching its historic
 // semantics). On success it also fills the suffix minima of the base starts
 // that the trial fast path keys on.
-func (pl *planner) basePlan(p *cluster.Profile, est Estimator, now int64, head *trace.Job, queue []*trace.Job, strict bool) bool {
+func (pl *planner) basePlan(p *cluster.VecProfile, est Estimator, now int64, head *trace.Job, queue []*trace.Job, strict bool) bool {
 	pl.plan = pl.plan[:0]
 	mark := p.Checkpoint()
 	ok := pl.placeBase(p, est, now, head, strict)
@@ -83,10 +85,10 @@ func (pl *planner) basePlan(p *cluster.Profile, est Estimator, now int64, head *
 	return true
 }
 
-func (pl *planner) placeBase(p *cluster.Profile, est Estimator, now int64, j *trace.Job, strict bool) bool {
+func (pl *planner) placeBase(p *cluster.VecProfile, est Estimator, now int64, j *trace.Job, strict bool) bool {
 	dur := est.Estimate(j)
-	s := p.FindStart(now, dur, j.Procs)
-	if err := p.ReserveFound(s, s+dur, j.Procs); err != nil && strict {
+	s := p.FindStart(now, dur, j.Procs, j.Mem)
+	if err := p.ReserveFound(s, s+dur, j.Procs, j.Mem); err != nil && strict {
 		return false
 	}
 	pl.plan = append(pl.plan, planEntry{job: j, dur: dur, start: s})
@@ -119,7 +121,7 @@ func (pl *planner) growLimits() []int64 {
 // reservation, which can open earlier holes and cascade, so every later job
 // gets a full search. When the candidate is the final slot and the whole
 // remaining suffix is disjoint (sufMin), the trial is accepted outright.
-func (pl *planner) trial(p *cluster.Profile, now int64, ci int, candEnd int64, strict bool) bool {
+func (pl *planner) trial(p *cluster.VecProfile, now int64, ci int, candEnd int64, strict bool) bool {
 	exact := true
 	last := len(pl.plan) - 1
 	for i := range pl.plan {
@@ -132,14 +134,14 @@ func (pl *planner) trial(p *cluster.Profile, now int64, ci int, candEnd int64, s
 				return true
 			}
 			if e.start >= candEnd {
-				if err := p.ReserveFound(e.start, e.start+e.dur, e.job.Procs); err != nil && strict {
+				if err := p.ReserveFound(e.start, e.start+e.dur, e.job.Procs, e.job.Mem); err != nil && strict {
 					return false
 				}
 				continue
 			}
 		}
-		s := p.FindStart(now, e.dur, e.job.Procs)
-		if err := p.ReserveFound(s, s+e.dur, e.job.Procs); err != nil && strict {
+		s := p.FindStart(now, e.dur, e.job.Procs, e.job.Mem)
+		if err := p.ReserveFound(s, s+e.dur, e.job.Procs, e.job.Mem); err != nil && strict {
 			return false
 		}
 		if s > pl.limit[i] {
@@ -163,14 +165,15 @@ func (pl *planner) backfillOne(st State, est Estimator, now int64, head *trace.J
 	}
 	setLimits()
 	free := st.FreeProcs()
+	memFree, memTotal := MemOf(st)
 	for ci := 1; ci < len(pl.plan); ci++ {
 		cand := pl.plan[ci]
-		if cand.job.Procs > free {
+		if cand.job.Procs > free || memDemand(cand.job, memTotal) > memFree {
 			continue
 		}
 		candEnd := now + cand.dur
 		mark := p.Checkpoint()
-		if err := p.Reserve(now, candEnd, cand.job.Procs); err != nil {
+		if err := p.Reserve(now, candEnd, cand.job.Procs, cand.job.Mem); err != nil {
 			p.Rollback(mark)
 			continue
 		}

@@ -1,6 +1,7 @@
 package backfill
 
 import (
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -16,6 +17,13 @@ type Slack struct {
 	// Factor scales each job's allowed delay (default 0.5 when zero-valued
 	// via NewSlack).
 	Factor float64
+	// Scn layers the starvation bound onto the slack: once a job's wait
+	// reaches the bound its reservation stops slipping (limit pinned to the
+	// base start — it becomes blocking, kube-batch StarvationThreshold
+	// semantics). Priority tiers are honoured through the queue order the
+	// engine hands in, which the base plan preserves. The zero scenario
+	// reproduces classic slack backfilling exactly.
+	Scn sched.Scenario
 
 	// pl holds the reusable per-round profile, plan and limit scratch.
 	pl planner
@@ -25,8 +33,8 @@ type Slack struct {
 // factor.
 func NewSlack(est Estimator) *Slack { return &Slack{Est: est, Factor: 0.5} }
 
-// Fresh implements Cloneable: same estimator and slack factor, own scratch.
-func (s *Slack) Fresh() Backfiller { return &Slack{Est: s.Est, Factor: s.Factor} }
+// Fresh implements Cloneable: same configuration, own scratch.
+func (s *Slack) Fresh() Backfiller { return &Slack{Est: s.Est, Factor: s.Factor, Scn: s.Scn} }
 
 // Name implements Backfiller.
 func (s *Slack) Name() string { return "SLACK-" + s.Est.Name() }
@@ -46,14 +54,23 @@ func (s *Slack) Backfill(st State, head *trace.Job, queue []*trace.Job) {
 }
 
 // setLimits allows every non-head job to slip by Factor x its estimated
-// runtime past its base reserved start; the head not at all.
+// runtime past its base reserved start; the head not at all. With aging on,
+// a job that is (or would become) starving by its base start loses its
+// remaining slack: the limit is pinned back to max(base start, the instant
+// it starts starving), so backfilling can no longer push it past the bound.
 func (s *Slack) setLimits() {
 	limit := s.pl.growLimits()
+	aging := s.Scn.Aging()
 	for i := range s.pl.plan {
 		e := &s.pl.plan[i]
 		limit[i] = e.start
 		if i > 0 {
 			limit[i] += int64(s.Factor * float64(e.dur))
+			if aging {
+				if sa := s.Scn.StarvesAt(e.job); sa < limit[i] {
+					limit[i] = max(sa, e.start)
+				}
+			}
 		}
 	}
 }

@@ -2,24 +2,45 @@
 // (§3.2: "we assume the HPC environment is homogeneous"): a pool of
 // interchangeable processors with allocation bookkeeping, plus a future
 // availability profile used by reservation-based (conservative) backfilling.
+// The machine optionally carries a second resource dimension (memory, in
+// abstract units); a zero memory capacity disables that dimension and keeps
+// every operation identical to the classic procs-only model.
 package cluster
 
 import "fmt"
 
-// Cluster tracks processor allocations for running jobs.
-type Cluster struct {
-	total int
-	free  int
-	alloc map[int]int // job ID -> processors held
+// grant records one job's allocation across both resource dimensions.
+type grant struct {
+	procs int
+	mem   int
 }
 
-// New creates a cluster with n processors. It panics if n <= 0 (a machine
-// must have capacity; the paper's traces use 128-256).
+// Cluster tracks processor (and optionally memory) allocations for running
+// jobs.
+type Cluster struct {
+	total    int
+	free     int
+	memTotal int // 0 = memory dimension off
+	memFree  int
+	alloc    map[int]grant // job ID -> resources held
+}
+
+// New creates a cluster with n processors and no memory dimension. It panics
+// if n <= 0 (a machine must have capacity; the paper's traces use 128-256).
 func New(n int) *Cluster {
+	return NewWithMem(n, 0)
+}
+
+// NewWithMem creates a cluster with n processors and mem memory units; mem 0
+// disables the memory dimension. It panics if n <= 0 or mem < 0.
+func NewWithMem(n, mem int) *Cluster {
 	if n <= 0 {
 		panic(fmt.Sprintf("cluster: non-positive machine size %d", n))
 	}
-	return &Cluster{total: n, free: n, alloc: make(map[int]int)}
+	if mem < 0 {
+		panic(fmt.Sprintf("cluster: negative memory capacity %d", mem))
+	}
+	return &Cluster{total: n, free: n, memTotal: mem, memFree: mem, alloc: make(map[int]grant)}
 }
 
 // Total returns the machine size.
@@ -27,6 +48,12 @@ func (c *Cluster) Total() int { return c.total }
 
 // Free returns the number of idle processors.
 func (c *Cluster) Free() int { return c.free }
+
+// TotalMem returns the machine memory capacity (0 = dimension off).
+func (c *Cluster) TotalMem() int { return c.memTotal }
+
+// FreeMem returns the idle memory units (0 when the dimension is off).
+func (c *Cluster) FreeMem() int { return c.memFree }
 
 // Used returns the number of busy processors.
 func (c *Cluster) Used() int { return c.total - c.free }
@@ -40,9 +67,24 @@ func (c *Cluster) Utilization() float64 { return float64(c.Used()) / float64(c.t
 // Fits reports whether a job needing procs processors can start now.
 func (c *Cluster) Fits(procs int) bool { return procs > 0 && procs <= c.free }
 
+// FitsRes reports whether a job needing procs processors and mem memory can
+// start now. Memory is ignored when the dimension is off.
+func (c *Cluster) FitsRes(procs, mem int) bool {
+	if !c.Fits(procs) {
+		return false
+	}
+	return c.memTotal == 0 || mem <= c.memFree
+}
+
 // Alloc reserves procs processors for job id. It returns an error if the job
 // already holds an allocation or the request cannot be satisfied.
 func (c *Cluster) Alloc(id, procs int) error {
+	return c.AllocRes(id, procs, 0)
+}
+
+// AllocRes reserves procs processors and mem memory units for job id. Memory
+// is ignored (not charged) when the dimension is off.
+func (c *Cluster) AllocRes(id, procs, mem int) error {
 	if procs <= 0 {
 		return fmt.Errorf("cluster: job %d requested %d procs", id, procs)
 	}
@@ -52,27 +94,38 @@ func (c *Cluster) Alloc(id, procs int) error {
 	if procs > c.free {
 		return fmt.Errorf("cluster: job %d needs %d procs, only %d free", id, procs, c.free)
 	}
-	c.alloc[id] = procs
+	if c.memTotal == 0 {
+		mem = 0
+	} else if mem > c.memFree {
+		return fmt.Errorf("cluster: job %d needs %d mem, only %d free", id, mem, c.memFree)
+	}
+	c.alloc[id] = grant{procs: procs, mem: mem}
 	c.free -= procs
+	c.memFree -= mem
 	return nil
 }
 
-// Release frees the processors held by job id.
+// Release frees the resources held by job id.
 func (c *Cluster) Release(id int) error {
-	procs, ok := c.alloc[id]
+	g, ok := c.alloc[id]
 	if !ok {
 		return fmt.Errorf("cluster: job %d has no allocation", id)
 	}
 	delete(c.alloc, id)
-	c.free += procs
+	c.free += g.procs
+	c.memFree += g.mem
 	return nil
 }
 
 // Holding returns the processors held by job id (0 if none).
-func (c *Cluster) Holding(id int) int { return c.alloc[id] }
+func (c *Cluster) Holding(id int) int { return c.alloc[id].procs }
+
+// HoldingMem returns the memory units held by job id (0 if none).
+func (c *Cluster) HoldingMem(id int) int { return c.alloc[id].mem }
 
 // Reset returns the cluster to the fully idle state.
 func (c *Cluster) Reset() {
 	c.free = c.total
-	c.alloc = make(map[int]int)
+	c.memFree = c.memTotal
+	c.alloc = make(map[int]grant)
 }

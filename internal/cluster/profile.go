@@ -73,10 +73,12 @@ func (p *Profile) Reset(total int, from int64) {
 }
 
 // Span is one bulk reservation for ResetSpans: Procs processors held from
-// the profile start until End.
+// the profile start until End. Mem is the memory dimension's demand, used
+// only by VecProfile.ResetSpans; the scalar profile ignores it.
 type Span struct {
 	End   int64
 	Procs int
+	Mem   int
 }
 
 // ResetSpans reinitialises the profile to capacity total from `from` with

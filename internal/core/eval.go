@@ -36,6 +36,10 @@ type EvalConfig struct {
 	// records themselves are byte-identical given sufficient overlap; see
 	// DESIGN.md §7).
 	Shard shard.Config
+	// Scn threads the scheduling scenario (priority tiers, starvation bound)
+	// into every replayed sequence's engine. The zero value is the classic
+	// evaluation.
+	Scn sched.Scenario
 }
 
 // DefaultEvalConfig returns the paper's evaluation protocol.
@@ -106,9 +110,9 @@ func runSequences(t *trace.Trace, base sched.Policy, cfg EvalConfig,
 			var res *sim.Result
 			var err error
 			if cfg.Shard.Active(seq.Len()) {
-				res, err = shard.ReplayWith(seq, base, mkBF, cfg.Shard, shardPool)
+				res, err = shard.ReplayScenario(seq, base, cfg.Scn, mkBF, cfg.Shard, shardPool)
 			} else {
-				res, err = sim.Run(seq, sim.Config{Policy: base, Backfiller: mkBF()})
+				res, err = sim.Run(seq, sim.Config{Policy: base, Scenario: cfg.Scn, Backfiller: mkBF()})
 			}
 			if err != nil {
 				errs[i] = err

@@ -10,26 +10,33 @@ import (
 	"sort"
 
 	"repro/internal/backfill"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
 // JobFeatures is the length of each per-job observation vector (§3.2): job
 // attributes plus the appended resource availability, so every row carries
-// the machine state the kernel network needs.
-const JobFeatures = 10
+// the machine state the kernel network needs. The last three slots encode
+// the scenario dimensions (memory, priority tier, aging progress); they read
+// zero on classic procs-only traces, so the wider encoding subsumes the old
+// one behind the same fixed-width layout.
+const JobFeatures = 13
 
 // Feature vector layout.
 const (
 	featWait     = iota // log-normalised waiting time
 	featEstimate        // log-normalised estimated runtime
 	featProcs           // requested processors / machine size
-	featFitNow          // 1 if the job fits the free processors
+	featFitNow          // 1 if the job fits the free resources
 	featSafe            // 1 if backfilling it cannot delay the head (EASY-safe)
-	featExtraFit        // 1 if the job fits in the head's extra processors
+	featExtraFit        // 1 if the job fits in the head's extra resources
 	featWindow          // estimated runtime / head's backfill window (capped at 1)
 	featFree            // free processors / machine size (availability, appended per §3.2)
 	featRJob            // 1 for the relative job (present but masked, §3.2)
 	featSkip            // 1 for the skip slot (its safe/free slots carry queue aggregates)
+	featMem             // requested memory / machine memory (0 when the dimension is off)
+	featPriority        // priority tier squashed to [0, 1): p/(p+1)
+	featAge             // wait / starvation bound (clamped; 0 when aging is off)
 )
 
 // ObsConfig shapes the observation.
@@ -46,6 +53,12 @@ type ObsConfig struct {
 	// features (seconds).
 	MaxWait float64
 	MaxRun  float64
+	// Scn supplies the scenario semantics the encoder surfaces: the
+	// starvation bound normalises featAge, and (with the free-memory state)
+	// memory demands gate the selectable mask exactly as they gate
+	// StartJob. The zero scenario zeroes featAge and leaves the mask
+	// procs-only on memless machines.
+	Scn sched.Scenario
 }
 
 // DefaultObsConfig returns the paper's observation settings.
@@ -153,6 +166,8 @@ func BuildObservationInto(cfg ObsConfig, st backfill.State, head *trace.Job, que
 	free := st.FreeProcs()
 	total := st.TotalProcs()
 	freeFrac := float64(free) / float64(total)
+	memFree, memTotal := backfill.MemOf(st)
+	aging := cfg.Scn.Aging()
 
 	// reset the reused buffers: padding rows must read as zero
 	for i := range o.Flat {
@@ -190,11 +205,26 @@ func BuildObservationInto(cfg ObsConfig, st backfill.State, head *trace.Job, que
 		row[featWait] = logNorm(wait, cfg.MaxWait)
 		row[featEstimate] = logNorm(estimate, cfg.MaxRun)
 		row[featProcs] = clamp01(float64(j.Procs) / float64(total))
-		fits := j.Procs <= free
+		jm := 0
+		if memTotal > 0 {
+			jm = j.Mem
+			row[featMem] = clamp01(float64(jm) / float64(memTotal))
+		}
+		if j.Priority > 0 {
+			row[featPriority] = float64(j.Priority) / float64(j.Priority+1)
+		}
+		if aging {
+			if sa := cfg.Scn.StarvesAt(j); sa > j.Submit && sa != math.MaxInt64 {
+				row[featAge] = clamp01(wait / float64(sa-j.Submit))
+			} else if sa <= j.Submit {
+				row[featAge] = 1
+			}
+		}
+		fits := j.Procs <= free && jm <= memFree
 		if fits {
 			row[featFitNow] = 1
 		}
-		extraFit := j.Procs <= res.Extra
+		extraFit := j.Procs <= res.Extra && jm <= res.ExtraMem
 		if extraFit {
 			row[featExtraFit] = 1
 		}

@@ -68,6 +68,11 @@ type TrainConfig struct {
 	// Workers parallelises rollouts and gradient computation
 	// (default GOMAXPROCS). Results are independent of the worker count.
 	Workers int
+	// Scn threads the scheduling scenario (priority tiers, starvation bound)
+	// into every rollout and baseline engine, and into the observation encoder
+	// (Obs.Scn is overwritten with this value). The zero value trains on the
+	// paper's classic semantics.
+	Scn sched.Scenario
 }
 
 // DefaultTrainConfig returns the paper-scale settings: 100 trajectories of
@@ -108,6 +113,7 @@ func (c TrainConfig) withDefaults() TrainConfig {
 		c.Est = backfill.RequestTime{}
 	}
 	c.Obs = c.Obs.withDefaults()
+	c.Obs.Scn = c.Scn
 	if c.TrajPerEpoch <= 0 {
 		c.TrajPerEpoch = 100
 	}
@@ -272,7 +278,7 @@ func (t *Trainer) rollout(rng *stats.RNG) (ppo.Trajectory, float64, float64, flo
 	}
 
 	worker := t.rolloutWorker(rng)
-	res, err := sim.Run(seq, sim.Config{Policy: t.cfg.BasePolicy, Backfiller: worker})
+	res, err := sim.Run(seq, sim.Config{Policy: t.cfg.BasePolicy, Scenario: t.cfg.Scn, Backfiller: worker})
 	if err != nil {
 		return ppo.Trajectory{}, 0, 0, 0, 0, err
 	}
@@ -307,7 +313,8 @@ func (t *Trainer) baselineFor(start int, seq *trace.Trace) (float64, error) {
 
 	res, err := sim.Run(seq.Clone(), sim.Config{
 		Policy:     sched.FCFS{},
-		Backfiller: &backfill.EASY{Est: t.cfg.Est, Order: backfill.SJFOrder},
+		Scenario:   t.cfg.Scn,
+		Backfiller: &backfill.EASY{Est: t.cfg.Est, Order: backfill.SJFOrder, Scn: t.cfg.Scn},
 	})
 	if err != nil {
 		return 0, err

@@ -22,7 +22,27 @@ const (
 	Arrive Kind = iota
 	// Finish is a job completion event.
 	Finish
+	// Wake is a timed no-op that forces a scheduling round: the engine
+	// queues one at each waiting job's starvation-transition instant so that
+	// aging-based rank changes take effect on time even when no completion
+	// or arrival happens to land there. Wakes order after Finish and Arrive
+	// at equal times — the round must see the freed processors and the new
+	// arrivals it is being woken for.
+	Wake
 )
+
+// rank maps kinds to their same-timestamp processing order: completions
+// free resources first, then arrivals, then wake ticks.
+func rank(k Kind) int {
+	switch k {
+	case Finish:
+		return 0
+	case Arrive:
+		return 1
+	default:
+		return 2
+	}
+}
 
 // Event is one timed simulator event. Payload carries the subject (a job).
 type Event struct {
@@ -41,8 +61,9 @@ func less(a, b Event) bool {
 		return a.Time < b.Time
 	}
 	if a.Kind != b.Kind {
-		// Finish < Arrive at equal times: completions free resources first.
-		return a.Kind == Finish && b.Kind == Arrive
+		// Finish < Arrive < Wake at equal times: completions free resources
+		// first, and wake ticks observe everything else.
+		return rank(a.Kind) < rank(b.Kind)
 	}
 	return a.Seq < b.Seq
 }

@@ -59,6 +59,10 @@ func registry(zoo *Zoo) map[string]Runner {
 			t, err := LoadSweep(sc, p, log)
 			return render(t, err)
 		},
+		"scenario": func(sc Scale, p *pool.Pool, log io.Writer) (string, error) {
+			t, err := ScenarioCompare(sc, zoo, p, log)
+			return render(t, err)
+		},
 	}
 }
 
@@ -93,6 +97,11 @@ func RunMany(names []string, sc Scale, log io.Writer) (string, error) {
 	// keeps its setting.
 	if sc.Shard.Enabled() {
 		sc.Eval.Shard = sc.Shard
+	}
+	// Likewise for the scheduling scenario: one Scale knob reaches both the
+	// training rollouts (trainConfig) and the eval-protocol engines.
+	if sc.Scn.Enabled() {
+		sc.Eval.Scn = sc.Scn
 	}
 	zoo := NewZoo()
 	reg := registry(zoo)

@@ -44,6 +44,12 @@ type Scale struct {
 	// (internal/shard). Off by default at every named scale; rlbf-exp's
 	// -shard-window/-shard-overlap flags switch it on.
 	Shard shard.Config
+	// Scn layers the scheduling scenario (priority tiers, starvation bound)
+	// onto every cell: RunMany propagates it into Eval.Scn and trainConfig
+	// threads it into training rollouts. Zero (the default at every named
+	// scale) reproduces the paper's classic semantics; the "scenario"
+	// experiment enables it locally on enriched workloads.
+	Scn sched.Scenario
 	// PerPolicyModels trains a separate RL model per base policy (the
 	// paper's Table 4/5 protocol). When false, models are trained with FCFS
 	// only and transferred to the other base policies — the generality the
@@ -140,5 +146,6 @@ func (s Scale) trainConfig(policy sched.Policy, est backfill.Estimator) core.Tra
 	cfg.PPO.PiIters = s.PiIters
 	cfg.PPO.VIters = s.VIters
 	cfg.PPO.MiniBatch = 2048
+	cfg.Scn = s.Scn
 	return cfg
 }

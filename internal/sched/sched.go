@@ -133,7 +133,8 @@ type scored struct {
 // per-event allocation and repeated Score calls of the naive comparator
 // sort. The zero value is ready to use; a Sorter is not goroutine-safe.
 type Sorter struct {
-	buf []scored
+	buf   []scored
+	scBuf []scoredSc // scenario-decorated variant, see SortScenario
 }
 
 // Sort orders jobs in place by the canonical Less order, computing each

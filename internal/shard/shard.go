@@ -135,7 +135,7 @@ func Replay(t *trace.Trace, cfg sim.Config, sc Config, p *pool.Pool) (*sim.Resul
 		}
 		mkBF = func() backfill.Backfiller { return c.Fresh() }
 	}
-	return ReplayWith(t, cfg.Policy, mkBF, sc, p)
+	return ReplayScenario(t, cfg.Policy, cfg.Scenario, mkBF, sc, p)
 }
 
 // ReplayWith is Replay for callers that construct backfillers themselves
@@ -143,14 +143,23 @@ func Replay(t *trace.Trace, cfg sim.Config, sc Config, p *pool.Pool) (*sim.Resul
 // window — or once total on the sequential path — and each returned
 // instance is used by exactly one engine.
 func ReplayWith(t *trace.Trace, policy sched.Policy, mkBF func() backfill.Backfiller, sc Config, p *pool.Pool) (*sim.Result, error) {
+	return ReplayScenario(t, policy, sched.Scenario{}, mkBF, sc, p)
+}
+
+// ReplayScenario is ReplayWith with a scheduling scenario threaded into every
+// window's engine. Scenario state regenerates from (clock, queue, running) —
+// starvation wake events are re-queued when jobs re-enter a window's queue —
+// so the warm-up convergence argument is unchanged: coinciding states still
+// evolve identically.
+func ReplayScenario(t *trace.Trace, policy sched.Policy, scn sched.Scenario, mkBF func() backfill.Backfiller, sc Config, p *pool.Pool) (*sim.Result, error) {
 	n := t.Len()
 	if !sc.Active(n) {
-		return sequential(t, sim.Config{Policy: policy, Backfiller: mkBF()})
+		return sequential(t, sim.Config{Policy: policy, Scenario: scn, Backfiller: mkBF()})
 	}
 	cuts := sc.cutIndices(t)
 	numWin := len(cuts) - 1
 	if numWin <= 1 {
-		return sequential(t, sim.Config{Policy: policy, Backfiller: mkBF()})
+		return sequential(t, sim.Config{Policy: policy, Scenario: scn, Backfiller: mkBF()})
 	}
 	index := jobIndex(t)
 	records := make([]metrics.Record, n)
@@ -162,7 +171,7 @@ func ReplayWith(t *trace.Trace, policy sched.Policy, mkBF func() backfill.Backfi
 	for w := 0; w < numWin; w++ {
 		w := w
 		g.Go(1, func() error {
-			errs[w] = replayWindow(t, sim.Config{Policy: policy, Backfiller: mkBF()}, sc,
+			errs[w] = replayWindow(t, sim.Config{Policy: policy, Scenario: scn, Backfiller: mkBF()}, sc,
 				cuts[w], cuts[w+1], index, records)
 			return nil // indexed slots give deterministic error selection
 		})
@@ -215,7 +224,7 @@ func replayWindow(t *trace.Trace, cfg sim.Config, sc Config, propStart, propEnd 
 	hi := min(propEnd+sc.Overlap, n)
 	// The sub-trace shares job pointers with t: engines never mutate jobs,
 	// so concurrent windows can read them race-free.
-	sub := &trace.Trace{Name: t.Name, Procs: t.Procs, Jobs: t.Jobs[lo:hi]}
+	sub := &trace.Trace{Name: t.Name, Procs: t.Procs, Mem: t.Mem, Jobs: t.Jobs[lo:hi]}
 	e, err := sim.NewEngine(sub, cfg)
 	if err != nil {
 		return err

@@ -21,6 +21,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/backfill"
@@ -38,6 +39,12 @@ type Config struct {
 	// Backfiller runs when the head job cannot start. nil disables
 	// backfilling entirely (pure FCFS-style blocking).
 	Backfiller backfill.Backfiller
+	// Scenario layers priority tiers and the aging-based starvation bound
+	// onto the base policy (see sched.Scenario). The zero value keeps the
+	// classic, byte-identical scheduling semantics. Backfillers that honour
+	// scenarios (EASY, Slack) carry their own copy; callers should configure
+	// both from the same value.
+	Scenario sched.Scenario
 	// Probe, when non-nil, observes the engine after every event batch
 	// (instrumentation only; it cannot influence scheduling).
 	Probe Probe
@@ -57,9 +64,10 @@ type Engine struct {
 	procs   int
 	clock   int64
 	cluster *cluster.Cluster
-	// events holds only Finish events: arrivals are fed lazily from the
-	// submit-sorted trace (below), so the heap never exceeds the number of
-	// concurrently running jobs instead of starting at size n.
+	// events holds Finish events (arrivals are fed lazily from the
+	// submit-sorted trace below, so the heap never exceeds the number of
+	// concurrently running jobs instead of starting at size n) plus, under
+	// an aging scenario, Wake ticks at starvation-transition instants.
 	events eventq.Queue
 	// arrivals is the validated, submit-sorted job list; nextArr indexes the
 	// first job not yet admitted to the waiting queue.
@@ -72,6 +80,7 @@ type Engine struct {
 	queue  []*trace.Job
 	qscore []float64
 	static bool
+	scnOn  bool // cfg.Scenario.Enabled(), hoisted off the hot paths
 	sorter sched.Sorter
 	// running is kept sorted by job ID (insert on start, remove on finish),
 	// so State.Running needs no per-call rebuild.
@@ -94,8 +103,9 @@ func NewEngine(t *trace.Trace, cfg Config) (*Engine, error) {
 	return &Engine{
 		cfg:      cfg,
 		procs:    t.Procs,
-		cluster:  cluster.New(t.Procs),
-		static:   !cfg.Policy.TimeVarying(),
+		cluster:  cluster.NewWithMem(t.Procs, t.Mem),
+		static:   !cfg.Policy.TimeVarying() && !cfg.Scenario.TimeVarying(),
+		scnOn:    cfg.Scenario.Enabled(),
 		arrivals: t.Jobs,
 		records:  make([]metrics.Record, 0, len(t.Jobs)),
 	}, nil
@@ -138,7 +148,13 @@ func (e *Engine) Step() bool {
 			break
 		}
 		ev, _ := e.events.Pop()
-		e.applyFinish(ev.Payload.(*trace.Job))
+		switch ev.Kind {
+		case eventq.Finish:
+			e.applyFinish(ev.Payload.(*trace.Job))
+		case eventq.Wake:
+			// Starvation-transition tick: no state changes here — the
+			// scheduling round below re-ranks the queue at this instant.
+		}
 	}
 	for e.nextArr < len(e.arrivals) && e.arrivals[e.nextArr].Submit == now {
 		e.enqueue(e.arrivals[e.nextArr])
@@ -178,18 +194,34 @@ func (e *Engine) applyFinish(j *trace.Job) {
 
 // enqueue adds an arriving job to the waiting queue. Static policies
 // binary-insert at the job's final position (scores never change, so the
-// queue stays sorted forever); time-varying policies just append and let
-// schedule re-sort.
+// queue stays sorted forever); time-varying policies — including any static
+// base policy under an aging scenario — just append and let schedule
+// re-sort. With aging on, the job's starvation-transition instant is queued
+// as a Wake event so its rank change cannot overshoot an event drought.
 func (e *Engine) enqueue(j *trace.Job) {
+	if e.scnOn && e.cfg.Scenario.Aging() {
+		if sa := e.cfg.Scenario.StarvesAt(j); sa > e.clock && sa != math.MaxInt64 {
+			e.events.Push(eventq.Event{Time: sa, Kind: eventq.Wake, Payload: j})
+		}
+	}
 	if !e.static {
 		e.queue = append(e.queue, j)
 		e.qscore = append(e.qscore, 0)
 		return
 	}
 	score := e.cfg.Policy.Score(j, e.clock)
-	i := sort.Search(len(e.queue), func(i int) bool {
-		return sched.Less(j, e.queue[i], score, e.qscore[i])
-	})
+	var i int
+	if e.scnOn {
+		// Aging is off here (static would be false), so scenario order is
+		// time-invariant and binary insertion stays valid.
+		i = sort.Search(len(e.queue), func(i int) bool {
+			return e.cfg.Scenario.Less(j, e.queue[i], score, e.qscore[i], e.clock)
+		})
+	} else {
+		i = sort.Search(len(e.queue), func(i int) bool {
+			return sched.Less(j, e.queue[i], score, e.qscore[i])
+		})
+	}
 	e.queue = append(e.queue, nil)
 	copy(e.queue[i+1:], e.queue[i:])
 	e.queue[i] = j
@@ -206,10 +238,11 @@ func (e *Engine) schedule() {
 	}
 	if !e.static {
 		// Time-varying scores: one decorated sort per event, each score
-		// computed exactly once.
-		e.sorter.Sort(e.queue, e.qscore, e.cfg.Policy, e.clock)
+		// computed exactly once. SortScenario routes straight to the classic
+		// sort when no scenario is configured.
+		e.sorter.SortScenario(e.queue, e.qscore, e.cfg.Policy, e.clock, e.cfg.Scenario)
 	}
-	for len(e.queue) > 0 && e.cluster.Fits(e.queue[0].Procs) {
+	for len(e.queue) > 0 && e.cluster.FitsRes(e.queue[0].Procs, e.queue[0].Mem) {
 		e.StartJob(e.queue[0])
 	}
 	if len(e.queue) == 0 || e.cfg.Backfiller == nil {
@@ -228,6 +261,13 @@ func (e *Engine) FreeProcs() int { return e.cluster.Free() }
 
 // TotalProcs implements backfill.State.
 func (e *Engine) TotalProcs() int { return e.procs }
+
+// FreeMem implements backfill.MemState.
+func (e *Engine) FreeMem() int { return e.cluster.FreeMem() }
+
+// TotalMem implements backfill.MemState; 0 means the machine (trace) has no
+// memory dimension and every memory constraint is inert.
+func (e *Engine) TotalMem() int { return e.cluster.TotalMem() }
 
 // Running implements backfill.State; the slice is sorted by job ID. It is
 // the engine's live bookkeeping (maintained incrementally, never rebuilt):
@@ -250,9 +290,16 @@ func (e *Engine) queueIndex(j *trace.Job) int {
 		return 0 // the common case: starting the head
 	}
 	score := e.cfg.Policy.Score(j, e.clock)
-	i := sort.Search(len(e.queue), func(i int) bool {
-		return !sched.Less(e.queue[i], j, e.qscore[i], score)
-	})
+	var i int
+	if e.scnOn {
+		i = sort.Search(len(e.queue), func(i int) bool {
+			return !e.cfg.Scenario.Less(e.queue[i], j, e.qscore[i], score, e.clock)
+		})
+	} else {
+		i = sort.Search(len(e.queue), func(i int) bool {
+			return !sched.Less(e.queue[i], j, e.qscore[i], score)
+		})
+	}
 	if i < len(e.queue) && e.queue[i] == j {
 		return i
 	}
@@ -270,7 +317,7 @@ func (e *Engine) queueIndex(j *trace.Job) int {
 // Request Time"), a job whose actual runtime exceeds its request is killed
 // when the wall-time limit expires.
 func (e *Engine) StartJob(j *trace.Job) {
-	if err := e.cluster.Alloc(j.ID, j.Procs); err != nil {
+	if err := e.cluster.AllocRes(j.ID, j.Procs, j.Mem); err != nil {
 		panic(fmt.Sprintf("sim: starting job %d: %v", j.ID, err))
 	}
 	i := e.queueIndex(j)

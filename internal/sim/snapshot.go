@@ -56,7 +56,7 @@ func NewEngineFromSnapshot(t *trace.Trace, cfg Config, snap Snapshot) (*Engine, 
 	e.clock = snap.Clock
 	for _, r := range snap.Running {
 		j := r.Job
-		if err := e.cluster.Alloc(j.ID, j.Procs); err != nil {
+		if err := e.cluster.AllocRes(j.ID, j.Procs, j.Mem); err != nil {
 			return nil, fmt.Errorf("sim: restoring running job %d: %v", j.ID, err)
 		}
 		end := r.Start + effectiveRuntime(j)

@@ -21,6 +21,15 @@ type Job struct {
 	Request int64
 	// Procs is the number of requested processors (n_t).
 	Procs int
+	// Mem is the total requested memory in abstract capacity units (the SWF
+	// requested-memory column times the processor count). Zero means the job
+	// carries no memory demand; scheduling treats the memory dimension as
+	// absent unless the trace declares a machine capacity (Trace.Mem > 0).
+	Mem int
+	// Priority is the job's priority tier; higher values are more urgent.
+	// Zero is the default tier, so priority-free traces are all-zero and
+	// scheduling under them is identical to the priority-unaware code path.
+	Priority int
 	// User, Group and Executable are optional SWF identity fields, kept so
 	// that parsed traces round-trip; they do not influence scheduling.
 	User, Group, Executable int
@@ -46,6 +55,12 @@ func (j *Job) Validate() error {
 	if j.Submit < 0 {
 		return fmt.Errorf("trace: job %d has negative submit time %d", j.ID, j.Submit)
 	}
+	if j.Mem < 0 {
+		return fmt.Errorf("trace: job %d has negative memory request %d", j.ID, j.Mem)
+	}
+	if j.Priority < 0 {
+		return fmt.Errorf("trace: job %d has negative priority %d", j.ID, j.Priority)
+	}
 	return nil
 }
 
@@ -62,6 +77,10 @@ type Trace struct {
 	Name string
 	// Procs is the total number of processors in the cluster.
 	Procs int
+	// Mem is the total machine memory in the same abstract units as Job.Mem.
+	// Zero disables the memory dimension: jobs may still carry Mem values
+	// (e.g. parsed from an SWF file), but no scheduler constrains on them.
+	Mem int
 	// Jobs are sorted by non-decreasing submit time.
 	Jobs []*Job
 }
@@ -71,7 +90,7 @@ func (t *Trace) Len() int { return len(t.Jobs) }
 
 // Clone deep-copies the trace.
 func (t *Trace) Clone() *Trace {
-	c := &Trace{Name: t.Name, Procs: t.Procs, Jobs: make([]*Job, len(t.Jobs))}
+	c := &Trace{Name: t.Name, Procs: t.Procs, Mem: t.Mem, Jobs: make([]*Job, len(t.Jobs))}
 	for i, j := range t.Jobs {
 		c.Jobs[i] = j.Clone()
 	}
@@ -92,6 +111,9 @@ func (t *Trace) Validate() error {
 		if j.Procs > t.Procs {
 			return fmt.Errorf("trace: job %d requests %d procs > machine size %d", j.ID, j.Procs, t.Procs)
 		}
+		if t.Mem > 0 && j.Mem > t.Mem {
+			return fmt.Errorf("trace: job %d requests %d mem > machine capacity %d", j.ID, j.Mem, t.Mem)
+		}
 		if j.Submit < prev {
 			return fmt.Errorf("trace: job at index %d submitted at %d before previous %d", i, j.Submit, prev)
 		}
@@ -106,5 +128,5 @@ func (t *Trace) Head(n int) *Trace {
 	if n > len(t.Jobs) {
 		n = len(t.Jobs)
 	}
-	return &Trace{Name: t.Name, Procs: t.Procs, Jobs: t.Jobs[:n]}
+	return &Trace{Name: t.Name, Procs: t.Procs, Mem: t.Mem, Jobs: t.Jobs[:n]}
 }

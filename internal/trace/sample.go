@@ -26,7 +26,7 @@ func Slice(t *Trace, start, n int) *Trace {
 	if start+n > len(t.Jobs) {
 		n = len(t.Jobs) - start
 	}
-	c := &Trace{Name: t.Name, Procs: t.Procs, Jobs: make([]*Job, 0, n)}
+	c := &Trace{Name: t.Name, Procs: t.Procs, Mem: t.Mem, Jobs: make([]*Job, 0, n)}
 	for _, j := range t.Jobs[start : start+n] {
 		c.Jobs = append(c.Jobs, j.Clone())
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/stats"
 )
@@ -19,15 +20,23 @@ type Stats struct {
 	MaxJobProcs      int
 	Span             int64 // submit-time span (seconds)
 	MeanOverestimate float64
+
+	// Scenario dimensions; all zero for classic procs-only traces.
+	Mem          int     // machine memory capacity (0 = dimension off)
+	JobsWithMem  int     // jobs carrying a memory request
+	MeanMem      float64 // mean memory request over jobs with one
+	MaxJobMem    int
+	PriorityMax  int         // highest tier seen
+	PriorityDist map[int]int // tier -> job count; nil when all jobs are tier 0
 }
 
 // ComputeStats derives workload statistics from a trace.
 func ComputeStats(t *Trace) Stats {
-	s := Stats{Name: t.Name, Jobs: len(t.Jobs), Procs: t.Procs}
+	s := Stats{Name: t.Name, Jobs: len(t.Jobs), Procs: t.Procs, Mem: t.Mem}
 	if len(t.Jobs) == 0 {
 		return s
 	}
-	var gaps, reqs, runs, procs, overs []float64
+	var gaps, reqs, runs, procs, overs, mems []float64
 	var prev int64
 	for i, j := range t.Jobs {
 		if i > 0 {
@@ -43,6 +52,23 @@ func ComputeStats(t *Trace) Stats {
 		if j.Procs > s.MaxJobProcs {
 			s.MaxJobProcs = j.Procs
 		}
+		if j.Mem > 0 {
+			s.JobsWithMem++
+			mems = append(mems, float64(j.Mem))
+			if j.Mem > s.MaxJobMem {
+				s.MaxJobMem = j.Mem
+			}
+		}
+		if j.Priority > s.PriorityMax {
+			s.PriorityMax = j.Priority
+		}
+	}
+	s.MeanMem = stats.Mean(mems)
+	if s.PriorityMax > 0 {
+		s.PriorityDist = make(map[int]int)
+		for _, j := range t.Jobs {
+			s.PriorityDist[j.Priority]++
+		}
 	}
 	s.MeanInterarrival = stats.Mean(gaps)
 	s.MeanRequest = stats.Mean(reqs)
@@ -53,8 +79,37 @@ func ComputeStats(t *Trace) Stats {
 	return s
 }
 
-// String renders the statistics in a Table 2-like row.
+// String renders the statistics in a Table 2-like row. Scenario dimensions
+// (memory, priority tiers) are appended only when the trace carries them, so
+// classic procs-only traces render exactly as before.
 func (s Stats) String() string {
-	return fmt.Sprintf("%-10s jobs=%-6d size=%-4d it=%-7.0f rt=%-7.0f ar=%-7.0f nt=%-5.1f over=%.2f",
+	row := fmt.Sprintf("%-10s jobs=%-6d size=%-4d it=%-7.0f rt=%-7.0f ar=%-7.0f nt=%-5.1f over=%.2f",
 		s.Name, s.Jobs, s.Procs, s.MeanInterarrival, s.MeanRequest, s.MeanRuntime, s.MeanProcs, s.MeanOverestimate)
+	if s.Mem > 0 || s.JobsWithMem > 0 {
+		row += fmt.Sprintf(" mem=%d memjobs=%d meanmem=%.0f", s.Mem, s.JobsWithMem, s.MeanMem)
+	}
+	if s.PriorityMax > 0 {
+		row += fmt.Sprintf(" tiers=%d", s.PriorityMax+1)
+	}
+	return row
+}
+
+// PriorityTable renders the tier distribution as "tier:count" pairs in
+// ascending tier order, or "" when the trace is priority-free.
+func (s Stats) PriorityTable() string {
+	if s.PriorityDist == nil {
+		return ""
+	}
+	var b strings.Builder
+	for tier := 0; tier <= s.PriorityMax; tier++ {
+		n, ok := s.PriorityDist[tier]
+		if !ok {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", tier, n)
+	}
+	return b.String()
 }

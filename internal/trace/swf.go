@@ -34,10 +34,21 @@ const (
 
 // ParseSWF reads a Standard Workload Format stream. Header comment lines
 // (starting with ';') are scanned for "MaxProcs:" / "MaxNodes:" to determine
-// the machine size; name is attached to the returned trace. Jobs with
-// non-positive runtime or processor counts (failed or malformed records) are
-// skipped, mirroring how the paper's simulator (RLScheduler) loads traces.
-// Submit times are rebased so the first job arrives at 0.
+// the machine size and "MaxMemory:" (KB per processor) for the memory
+// capacity; name is attached to the returned trace. Jobs with non-positive
+// runtime or processor counts (failed or malformed records) are skipped,
+// mirroring how the paper's simulator (RLScheduler) loads traces. Submit
+// times are rebased so the first job arrives at 0.
+//
+// Memory requests come from the requested-memory column (SWF field 10,
+// KB per processor), falling back to used memory (field 7); Job.Mem stores
+// the total (per-processor value times processors) in KB. The memory
+// dimension stays inert unless the header declares a capacity (Trace.Mem).
+//
+// SWF has no dedicated priority field; per the format definition the queue
+// number is the conventional priority carrier ("queues may be used to
+// indicate priority"), so Job.Priority mirrors the queue column. Priority is
+// likewise inert unless a scheduling scenario enables tiers.
 func ParseSWF(r io.Reader, name string) (*Trace, error) {
 	t := &Trace{Name: name}
 	sc := bufio.NewScanner(r)
@@ -84,6 +95,19 @@ func ParseSWF(r io.Reader, name string) (*Trace, error) {
 	if t.Procs == 0 {
 		t.Procs = maxProcsOf(t.Jobs)
 	}
+	if t.Mem > 0 {
+		// The header stored per-processor KB; scale to the machine total now
+		// that the processor count is final. Per-job requests are clamped to
+		// the capacity: the requested-memory column is per-processor, so the
+		// ceil rounding on write can otherwise nudge a capacity-sized job a
+		// few KB past the machine on a round trip.
+		t.Mem *= t.Procs
+		for _, j := range t.Jobs {
+			if j.Mem > t.Mem {
+				j.Mem = t.Mem
+			}
+		}
+	}
 	return t, nil
 }
 
@@ -102,12 +126,26 @@ func jobFromSWF(v []int64) *Job {
 	if procs <= 0 || run <= 0 || req <= 0 || v[swfSubmitTime] < 0 {
 		return nil
 	}
+	memPerProc := v[swfReqMemory]
+	if memPerProc <= 0 {
+		memPerProc = v[swfUsedMemory]
+	}
+	mem := int64(0)
+	if memPerProc > 0 {
+		mem = memPerProc * procs
+	}
+	pri := v[swfQueue]
+	if pri < 0 {
+		pri = 0
+	}
 	return &Job{
 		ID:         int(v[swfJobNumber]),
 		Submit:     v[swfSubmitTime],
 		Runtime:    run,
 		Request:    req,
 		Procs:      int(procs),
+		Mem:        int(mem),
+		Priority:   int(pri),
 		User:       int(v[swfUserID]),
 		Group:      int(v[swfGroupID]),
 		Executable: int(v[swfExecutable]),
@@ -128,6 +166,14 @@ func parseSWFHeader(line string, t *Trace) {
 					t.Procs = n
 				}
 			}
+		}
+	}
+	// MaxMemory is KB per processor; the machine capacity is resolved to
+	// total KB once the processor count is known (see ParseSWF).
+	if strings.HasPrefix(body, "MaxMemory:") {
+		val := strings.TrimSpace(strings.TrimPrefix(body, "MaxMemory:"))
+		if n, err := strconv.Atoi(strings.Fields(val + " x")[0]); err == nil && n > 0 {
+			t.Mem = n // placeholder: per-proc KB, scaled after parsing
 		}
 	}
 }
@@ -168,12 +214,23 @@ func LoadSWFFile(path string) (*Trace, error) {
 	return ParseSWF(f, name)
 }
 
-// WriteSWF writes the trace in Standard Workload Format, including a MaxProcs
-// header, so that generated workloads can be consumed by other SWF tools.
-// Wait time, CPU time and memory fields are written as -1 (unknown).
+// WriteSWF writes the trace in Standard Workload Format, including MaxProcs
+// and (when the memory dimension is active) MaxMemory headers, so that
+// generated workloads can be consumed by other SWF tools. Wait time and CPU
+// time are written as -1 (unknown); requested memory is written per
+// processor (SWF convention), and priority tiers ride the queue column when
+// the job has no queue of its own, matching how ParseSWF recovers them.
 func WriteSWF(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "; Trace: %s\n; MaxProcs: %d\n; Generated by the rlbackfill reproduction\n", t.Name, t.Procs); err != nil {
+	if _, err := fmt.Fprintf(bw, "; Trace: %s\n; MaxProcs: %d\n", t.Name, t.Procs); err != nil {
+		return err
+	}
+	if t.Mem > 0 && t.Procs > 0 {
+		if _, err := fmt.Fprintf(bw, "; MaxMemory: %d\n", (t.Mem+t.Procs-1)/t.Procs); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "; Generated by the rlbackfill reproduction\n"); err != nil {
 		return err
 	}
 	for _, j := range t.Jobs {
@@ -181,9 +238,17 @@ func WriteSWF(w io.Writer, t *Trace) error {
 		if status == 0 {
 			status = 1
 		}
-		_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 %d %d %d %d %d %d -1 -1\n",
-			j.ID, j.Submit, j.Runtime, j.Procs, j.Procs, j.Request, status,
-			j.User, j.Group, j.Executable, j.Queue, j.Partition)
+		memPerProc := int64(-1)
+		if j.Mem > 0 && j.Procs > 0 {
+			memPerProc = int64((j.Mem + j.Procs - 1) / j.Procs)
+		}
+		queue := j.Queue
+		if queue == 0 && j.Priority > 0 {
+			queue = j.Priority
+		}
+		_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d %d %d %d %d %d %d %d -1 -1\n",
+			j.ID, j.Submit, j.Runtime, j.Procs, j.Procs, j.Request, memPerProc, status,
+			j.User, j.Group, j.Executable, queue, j.Partition)
 		if err != nil {
 			return err
 		}

@@ -38,7 +38,7 @@ func ScaleLoad(t *Trace, factor float64) *Trace {
 // Filter returns the jobs for which keep returns true (submit times are NOT
 // rebased; use Rebase if needed).
 func Filter(t *Trace, keep func(*Job) bool) *Trace {
-	c := &Trace{Name: t.Name, Procs: t.Procs}
+	c := &Trace{Name: t.Name, Procs: t.Procs, Mem: t.Mem}
 	for _, j := range t.Jobs {
 		if keep(j) {
 			c.Jobs = append(c.Jobs, j.Clone())
