@@ -31,7 +31,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent sequence replays (0 or 1 = sequential)")
 	shardWindow := flag.Int("shard-window", 0, "jobs per shard window for long sequence replays (0 = off)")
 	shardSeconds := flag.Int64("shard-seconds", 0, "simulated seconds per shard window (wall-clock cuts; takes precedence over -shard-window)")
-	shardOverlap := flag.Int("shard-overlap", 512, "warm-up/cool-down jobs replayed on each window flank")
+	shardOverlap := flag.Int("shard-overlap", 0, "warm-up/cool-down jobs per window flank (0 = drain-aware auto-sizing)")
 	flag.Parse()
 
 	policy, err := sched.ByName(*policyArg)

@@ -34,7 +34,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for parallel experiment cells (0 = GOMAXPROCS)")
 	shardWindow := flag.Int("shard-window", 0, "jobs per shard window for long whole-trace replays (0 = off)")
 	shardSeconds := flag.Int64("shard-seconds", 0, "simulated seconds per shard window (wall-clock cuts; takes precedence over -shard-window)")
-	shardOverlap := flag.Int("shard-overlap", 512, "warm-up/cool-down jobs replayed on each window flank")
+	shardOverlap := flag.Int("shard-overlap", 0, "warm-up/cool-down jobs per window flank (0 = drain-aware auto-sizing)")
 	shardMinJobs := flag.Int("shard-min-jobs", 0, "shard replays of at least this many jobs (0 = default 2048; lower it to shard the eval sequences too)")
 	flag.Parse()
 

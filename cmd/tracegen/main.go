@@ -1,51 +1,50 @@
-// Command tracegen generates a synthetic workload (SDSC-SP2/HPC2N surrogate
-// or Lublin model) and writes it in Standard Workload Format, so it can be
-// inspected or fed to other SWF-consuming tools.
+// Command tracegen generates a synthetic workload (SDSC-SP2/HPC2N surrogate,
+// Lublin model, or the huge multi-partition Lublin composition) and writes it
+// in Standard Workload Format, so it can be inspected or fed to other
+// SWF-consuming tools.
 //
 // Usage:
 //
 //	tracegen -workload lublin-1 -n 10000 -seed 7 -o lublin1.swf
 //	tracegen -workload sdsc-sp2 -mem-dist prop -priority-tiers 3 -o sdsc-sc.swf
+//	tracegen -workload huge -n 1000000 -nodes 4096 -load 0.8 -o huge.swf
 //
 // The -mem-dist and -priority-tiers flags enrich the workload with per-job
 // memory demands and priority tiers (the scenario dimensions); the SWF output
 // then carries a MaxMemory header, requested-memory column and queue-encoded
 // tiers, and round-trips through the parser.
+//
+// Without enrichment, built-in workloads stream straight from the generator
+// to the SWF writer — jobs are written as they are drawn and never collected
+// into a slice, so generating a million-job archive runs in constant memory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/lublin"
 	"repro/internal/trace"
 )
 
 func main() {
-	workload := flag.String("workload", "sdsc-sp2", "sdsc-sp2, hpc2n, lublin-1 or lublin-2")
+	workload := flag.String("workload", "sdsc-sp2", "sdsc-sp2, hpc2n, lublin-1, lublin-2 or huge")
 	n := flag.Int("n", 10000, "number of jobs")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output SWF path (default stdout)")
 	memDist := flag.String("mem-dist", trace.MemDistNone, "per-job memory enrichment: none, prop or uniform")
 	memPerProc := flag.Int("mem-per-proc", 0, "machine memory per processor in KB (default "+fmt.Sprint(trace.DefaultMemPerProc)+" when enriching)")
 	tiers := flag.Int("priority-tiers", 0, "priority tiers to synthesize (geometric; 0 or 1 = none)")
+	nodes := flag.Int("nodes", 0, "huge workload: machine size in processors (0 = 4096)")
+	streams := flag.Int("streams", 0, "huge workload: partition streams composed (0 = nodes/256)")
+	load := flag.Float64("load", 0, "huge workload: target machine utilization (0 = 0.8)")
 	flag.Parse()
 
-	tr, err := experiments.ResolveTrace(*workload, *n, *seed)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	spec := trace.EnrichSpec{MemDist: *memDist, MemPerProc: *memPerProc, PriorityTiers: *tiers, Seed: *seed}
-	if spec.Enabled() {
-		tr, err = trace.Enrich(tr, spec)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -54,6 +53,61 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	isHuge := false
+	switch strings.ToLower(*workload) {
+	case "huge", "lublin-huge":
+		isHuge = true
+	}
+	spec := trace.EnrichSpec{MemDist: *memDist, MemPerProc: *memPerProc, PriorityTiers: *tiers, Seed: *seed}
+
+	// Streaming path: enrichment needs the whole trace, but a plain built-in
+	// workload goes straight from the generator to the SWF rows.
+	if !spec.Enabled() {
+		var ts experiments.TraceStream
+		var ok bool
+		if isHuge {
+			ts, ok = experiments.HugeStream(lublin.Huge(*nodes, *streams, *load), *n, *seed), true
+		} else {
+			ts, ok = experiments.ResolveStream(*workload, *n, *seed)
+		}
+		if ok {
+			sw, err := trace.NewSWFWriter(w, ts.Name, ts.Procs, 0)
+			if err == nil {
+				err = ts.Run(func(j *trace.Job) error { return sw.WriteJob(j) })
+			}
+			if err == nil {
+				err = sw.Flush()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+				os.Exit(1)
+			}
+			if *out != "" {
+				fmt.Fprintf(os.Stderr, "tracegen: wrote %d jobs to %s\n", *n, *out)
+			}
+			return
+		}
+	}
+
+	var tr *trace.Trace
+	var err error
+	if isHuge {
+		tr = experiments.HugeTrace(lublin.Huge(*nodes, *streams, *load), *n, *seed)
+	} else {
+		tr, err = experiments.ResolveTrace(*workload, *n, *seed)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if spec.Enabled() {
+		tr, err = trace.Enrich(tr, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if err := trace.WriteSWF(w, tr); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)

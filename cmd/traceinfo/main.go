@@ -4,7 +4,12 @@
 // Usage:
 //
 //	traceinfo sdsc-sp2 hpc2n lublin-1 lublin-2
+//	traceinfo -n 1000000 huge
 //	traceinfo /data/HPC2N-2002-2.2-cln.swf
+//
+// Built-in workloads without enrichment stream through a statistics
+// accumulator job-by-job, so even million-job summaries run in constant
+// memory.
 package main
 
 import (
@@ -30,13 +35,33 @@ func main() {
 	}
 	exit := 0
 	for _, arg := range args {
-		tr, err := experiments.ResolveTrace(arg, *n, *seed)
+		spec := trace.EnrichSpec{MemDist: *memDist, MemPerProc: *memPerProc, PriorityTiers: *tiers, Seed: *seed}
+		// Summary fast path: a plain built-in workload streams job-by-job
+		// through the accumulator — no job slice is ever materialized, so
+		// inspecting a million-job workload runs in constant memory.
+		if !spec.Enabled() {
+			if ts, ok := experiments.ResolveStream(arg, *n, *seed); ok {
+				acc := trace.NewStatsAccum(ts.Name, ts.Procs, 0)
+				if err := ts.Run(func(j *trace.Job) error { acc.Add(j); return nil }); err != nil {
+					fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+					exit = 1
+					continue
+				}
+				printStats(acc.Stats())
+				continue
+			}
+		}
+		// SWF files use all their jobs; -n only caps built-in generators.
+		nArg := *n
+		if !experiments.IsBuiltin(arg) {
+			nArg = 0
+		}
+		tr, err := experiments.ResolveTrace(arg, nArg, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
 			exit = 1
 			continue
 		}
-		spec := trace.EnrichSpec{MemDist: *memDist, MemPerProc: *memPerProc, PriorityTiers: *tiers, Seed: *seed}
 		if spec.Enabled() {
 			if tr, err = trace.Enrich(tr, spec); err != nil {
 				fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
@@ -44,11 +69,14 @@ func main() {
 				continue
 			}
 		}
-		st := trace.ComputeStats(tr)
-		fmt.Println(st.String())
-		if pt := st.PriorityTable(); pt != "" {
-			fmt.Printf("%-10s tier distribution: %s\n", "", pt)
-		}
+		printStats(trace.ComputeStats(tr))
 	}
 	os.Exit(exit)
+}
+
+func printStats(st trace.Stats) {
+	fmt.Println(st.String())
+	if pt := st.PriorityTable(); pt != "" {
+		fmt.Printf("%-10s tier distribution: %s\n", "", pt)
+	}
 }

@@ -1,0 +1,400 @@
+package cluster
+
+// Block min/max index over the skyline (DESIGN.md §11).
+//
+// When a profile's backlog grows past a few hundred segments — the regime of
+// conservative/slack backfilling over a million-job trace, where thousands of
+// queued reservations stack up — the monotonic FindStart walk degrades to
+// O(walked segments) per query. The index partitions the segment slice into
+// contiguous blocks of ~idxBlockSize segments, each carrying the minimum and
+// maximum free count of its members. A query that has already walked two
+// blocks' worth of segments escapes to blockwise advancing (escapeWalk): a
+// block whose max free is below the request cannot contain a feasible
+// segment, and one whose min free is at or above it cannot contain a
+// blocker, so whole blocks are skipped in O(1) and only boundary blocks are
+// scanned — O(S/B + B + touched blocks) per long query instead of
+// O(walked), while short queries stay on the plain walk and never pay the
+// index's constants. MinFree combines block minima the same way.
+//
+// The index is an acceleration overlay, never a semantic one: the segment
+// slice stays the canonical representation, every query dispatches to the
+// plain walk when the index is off, and the indexed paths answer
+// byte-identically to the walk (pinned by the fuzz differential in
+// index_test.go). It engages only past a segment-count threshold — shallow
+// profiles (the paper's 10K-job benches) never pay for it — with hysteresis
+// so a backlog oscillating around the threshold does not rebuild per op.
+//
+// Incremental maintenance keeps block bounds *conservative*, not exact:
+// the invariant is containment — b.min <= true min and b.max >= true max of
+// the block's members — which is all the query paths need, since bounds are
+// only ever used to prune (a block can be skipped when its bound proves no
+// member qualifies; a bound that is merely loose costs a scan, never a wrong
+// answer). Containment is maintainable in O(1) where exactness is not:
+// a boundary insertion (ensureBoundary) widens the owning block's bounds by
+// the inserted value (split at 2x the target size, re-summarised exactly);
+// a seam removal (mergeAt) shrinks the owning block's count and leaves its
+// bounds alone (membership only shrank); a range update (addRange) shifts
+// fully covered blocks by delta exactly and widens the moving bound of the
+// at-most-two partial boundary blocks by delta. The profile's reserve-trial/
+// rollback churn — the dominant cost of conservative-backfilling replay —
+// therefore pays a few integer adds per op instead of O(B) block recomputes.
+// Loose bounds self-heal at query time: when a block's bound forces a member
+// scan that comes up empty, the scan already touched every member, so the
+// block is re-summarised exactly on the spot (makeBlock) and the next query
+// skips it outright. A stale block thus wastes at most one scan before it is
+// repaired, and answers are byte-identical to the walk throughout (pinned by
+// the fuzz differential in index_test.go, which checks containment after
+// every op).
+
+const (
+	// idxBlockSize is the target segments per block; blocks split at twice
+	// this. 64 keeps a block scan inside two cache lines of segments while
+	// the block walk stays ~S/64 long.
+	idxBlockSize = 64
+	// idxEnableAt / idxDisableAt bound the hysteresis: the index is built
+	// when the skyline grows to idxEnableAt segments and dropped when it
+	// shrinks below idxDisableAt. Shallow profiles stay on the plain walk.
+	idxEnableAt  = 512
+	idxDisableAt = 256
+	// idxBoundCap clamps conservatively widened bounds so that pathological
+	// mutation streams (millions of trial/rollback widenings on a block no
+	// query ever repairs) cannot overflow int32. Containment survives the
+	// clamp: real free counts are nowhere near +-2^30.
+	idxBoundCap = 1 << 30
+)
+
+// blockIdx summarises one contiguous run of n segments.
+type blockIdx struct {
+	n        int32 // segments in this block
+	min, max int32 // min/max Free over those segments
+}
+
+// DefaultIndexThreshold is the process-wide fallback for profiles that have
+// no per-Profile override (SetIndexThreshold 0): > 0 engages the index at
+// that many segments, < 0 disables indexing, 0 keeps the built-in default.
+// It exists for end-to-end A/B measurement — benchmarks flip it to compare
+// indexed and plain-walk replays through engines that construct their own
+// profiles — and is read at query/maintenance time, so it must not be
+// changed while replays run concurrently.
+var DefaultIndexThreshold int
+
+// SetIndexThreshold overrides the segment count at which the block index
+// engages: n > 0 enables it at n segments (hysteresis at n/2), n < 0
+// disables indexing entirely, n == 0 restores the default (or the
+// process-wide DefaultIndexThreshold when set). The override survives
+// Reset/ResetSpans. Query results are identical at any setting — the
+// threshold only moves the walk/index crossover — so this is a tuning and
+// testing knob, not a semantic one.
+func (p *Profile) SetIndexThreshold(n int) {
+	p.idxThreshold = n
+	p.reindex()
+}
+
+func (p *Profile) idxEnableThreshold() int {
+	n := p.idxThreshold
+	if n == 0 {
+		n = DefaultIndexThreshold
+	}
+	switch {
+	case n < 0:
+		return int(^uint(0) >> 1) // never
+	case n > 0:
+		return n
+	}
+	return idxEnableAt
+}
+
+func (p *Profile) idxDisableThreshold() int {
+	n := p.idxThreshold
+	if n == 0 {
+		n = DefaultIndexThreshold
+	}
+	switch {
+	case n < 0:
+		return 0
+	case n > 0:
+		return max(n/2, 1)
+	}
+	return idxDisableAt
+}
+
+// reindex rebuilds or drops the index to match the current skyline; used
+// after bulk rewrites of the segment slice (ResetSpans) and threshold
+// changes, where incremental maintenance has nothing to start from.
+func (p *Profile) reindex() {
+	if len(p.segs) >= p.idxEnableThreshold() {
+		p.buildIndex()
+	} else {
+		p.dropIndex()
+	}
+}
+
+func (p *Profile) dropIndex() {
+	p.idxOn = false
+	p.blocks = p.blocks[:0]
+}
+
+func (p *Profile) buildIndex() {
+	p.blocks = p.blocks[:0]
+	for s := 0; s < len(p.segs); s += idxBlockSize {
+		e := min(s+idxBlockSize, len(p.segs))
+		p.blocks = append(p.blocks, makeBlock(p.segs[s:e]))
+	}
+	p.idxOn = true
+}
+
+// makeBlock summarises segs exactly.
+func makeBlock(segs []segment) blockIdx {
+	b := blockIdx{n: int32(len(segs)), min: int32(segs[0].Free), max: int32(segs[0].Free)}
+	for _, s := range segs[1:] {
+		if int32(s.Free) < b.min {
+			b.min = int32(s.Free)
+		}
+		if int32(s.Free) > b.max {
+			b.max = int32(s.Free)
+		}
+	}
+	return b
+}
+
+// locateBlock returns the index of the block containing segment position i
+// and the segment index of that block's first member. Positions at or past
+// the end land in the last block (callers only use this for appends).
+func (p *Profile) locateBlock(i int) (bi, s int) {
+	for bi = range p.blocks {
+		n := int(p.blocks[bi].n)
+		if i < s+n || bi == len(p.blocks)-1 {
+			return bi, s
+		}
+		s += n
+	}
+	return 0, 0
+}
+
+// idxInsert maintains the index after a segment with the given free count
+// was inserted at position i (or appended when i was the old length). When
+// the index is off it only checks the enable threshold.
+func (p *Profile) idxInsert(i, free int) {
+	if !p.idxOn {
+		if len(p.segs) >= p.idxEnableThreshold() {
+			p.buildIndex()
+		}
+		return
+	}
+	bi, s := p.locateBlock(i)
+	b := &p.blocks[bi]
+	b.n++
+	if int32(free) < b.min {
+		b.min = int32(free)
+	}
+	if int32(free) > b.max {
+		b.max = int32(free)
+	}
+	if int(b.n) >= 2*idxBlockSize {
+		p.splitBlock(bi, s)
+	}
+}
+
+// splitBlock halves block bi (whose first member is segment s) in place.
+func (p *Profile) splitBlock(bi, s int) {
+	n := int(p.blocks[bi].n)
+	half := n / 2
+	left := makeBlock(p.segs[s : s+half])
+	right := makeBlock(p.segs[s+half : s+n])
+	p.blocks = append(p.blocks, blockIdx{})
+	copy(p.blocks[bi+2:], p.blocks[bi+1:])
+	p.blocks[bi] = left
+	p.blocks[bi+1] = right
+}
+
+// idxRemove maintains the index after the segment at (pre-removal) position
+// i was removed: the owning block shrinks and keeps its bounds — membership
+// only shrank, so the old bounds still contain the survivors (a removal can
+// tighten the true range but never escape it). Empty blocks vanish.
+func (p *Profile) idxRemove(i int) {
+	if !p.idxOn {
+		return
+	}
+	bi, _ := p.locateBlock(i)
+	b := &p.blocks[bi]
+	b.n--
+	if b.n == 0 {
+		p.blocks = append(p.blocks[:bi], p.blocks[bi+1:]...)
+	}
+	if len(p.segs) < p.idxDisableThreshold() {
+		p.dropIndex()
+	}
+}
+
+// idxRangeAdd maintains the index after delta was added to the free counts
+// of segment positions [i, j): fully covered blocks shift min/max by delta
+// exactly; the at-most-two partial boundary blocks widen the one bound the
+// update can move (delta < 0 can only lower the min, delta > 0 only raise
+// the max) in O(1), leaving the other bound valid as-is. Queries retighten
+// widened blocks when a bound-forced scan comes up empty (nextBelow /
+// nextAtLeast), so this is the cheap half of the self-healing contract.
+func (p *Profile) idxRangeAdd(i, j, delta int) {
+	if !p.idxOn || j <= i {
+		return
+	}
+	bi, s := p.locateBlock(i)
+	for s < j && bi < len(p.blocks) {
+		b := &p.blocks[bi]
+		n := int(b.n)
+		switch {
+		case i <= s && s+n <= j:
+			b.min += int32(delta)
+			b.max += int32(delta)
+		case delta < 0:
+			if b.min += int32(delta); b.min < -idxBoundCap {
+				b.min = -idxBoundCap
+			}
+		default:
+			if b.max += int32(delta); b.max > idxBoundCap {
+				b.max = idxBoundCap
+			}
+		}
+		s += n
+		bi++
+	}
+}
+
+// nextBelow returns the first segment index k >= i with Free < procs,
+// together with its block coordinates, or k = -1 when no such segment
+// exists. (bi, s) must be the block coordinates of a position <= i. A block
+// whose conservative min forced a full-member scan that found nothing had a
+// stale bound; the scan already touched every member, so the block is
+// re-summarised exactly before moving on (the healing half of the
+// containment contract).
+func (p *Profile) nextBelow(i, bi, s, procs int) (k, kbi, ks int) {
+	for bi < len(p.blocks) {
+		b := p.blocks[bi]
+		e := s + int(b.n)
+		if int(b.min) < procs {
+			lo := max(i, s)
+			for k = lo; k < e; k++ {
+				if p.segs[k].Free < procs {
+					return k, bi, s
+				}
+			}
+			if lo == s {
+				p.blocks[bi] = makeBlock(p.segs[s:e])
+			}
+		}
+		s = e
+		bi++
+		i = s
+	}
+	return -1, 0, 0
+}
+
+// nextAtLeast returns the first segment index k >= i with Free >= procs,
+// together with its block coordinates, or k = -1 when no such segment
+// exists. (bi, s) must be the block coordinates of a position <= i.
+// Full-block scans that come up empty retighten the stale bound, as in
+// nextBelow.
+func (p *Profile) nextAtLeast(i, bi, s, procs int) (k, kbi, ks int) {
+	for bi < len(p.blocks) {
+		b := p.blocks[bi]
+		e := s + int(b.n)
+		if int(b.max) >= procs {
+			lo := max(i, s)
+			for k = lo; k < e; k++ {
+				if p.segs[k].Free >= procs {
+					return k, bi, s
+				}
+			}
+			if lo == s {
+				p.blocks[bi] = makeBlock(p.segs[s:e])
+			}
+		}
+		s = e
+		bi++
+		i = s
+	}
+	return -1, 0, 0
+}
+
+// escapeWalk is the number of segments a query walks plainly before escaping
+// to blockwise skipping. Most FindStart/MinFree calls on an organically deep
+// backlog resolve within a block or two — the plain walk over a contiguous
+// slice is already optimal there, and paying locateBlock plus per-block
+// bookkeeping up front made the indexed path a net loss on real replays.
+// Escaping only after two blocks' worth of segments keeps short queries at
+// walk cost while long queries — the ones the index exists for — amortise
+// the one-time escape over the blocks they skip. Variable, not const, so
+// the fuzz differential can force the blockwise path from step zero.
+var escapeWalk = 2 * idxBlockSize
+
+// findStartBlockwise continues FindStart's monotonic candidate advance from
+// segment position i (candidate cand, window end end) over the block index.
+// Each round finds the first blocking segment inside the candidate window
+// (nextBelow skipping blocks with min >= procs); if the window is clear the
+// candidate stands. Otherwise the candidate jumps past the *entire* blocking
+// run to the next feasible segment (nextAtLeast skipping blocks with
+// max < procs) — exactly where the walk's one-segment-at-a-time advance
+// would land it, since a candidate sitting on a blocking segment always
+// re-jumps. The defensive fallback (blocked open-ended tail) mirrors the
+// walk verbatim — cand >= the caller's original `after`, so clamping to
+// cand is identical to clamping to after — and answers are byte-identical
+// (index_test.go fuzz differential).
+func (p *Profile) findStartBlockwise(i int, cand, end int64, procs int) int64 {
+	n := len(p.segs)
+	duration := end - cand
+	bi, s := p.locateBlock(i)
+	for {
+		k, kbi, ks := p.nextBelow(i, bi, s, procs)
+		if k < 0 || p.segs[k].Time >= end {
+			return cand // window cleared before any blocker begins
+		}
+		if k+1 >= n {
+			break // blocked open-ended tail: walk fallback below
+		}
+		j, jbi, js := p.nextAtLeast(k+1, kbi, ks, procs)
+		if j < 0 {
+			break // everything to the end blocks: walk fallback below
+		}
+		cand = p.segs[j].Time
+		end = cand + duration
+		i, bi, s = j, jbi, js
+	}
+	last := p.segs[n-1].Time
+	if last < cand {
+		last = cand
+	}
+	return last
+}
+
+// minFreeBlockwise continues MinFree's scan from segment position i with
+// running minimum m. Conservative block minima prune, they are never taken
+// as values: a block whose min bound is already >= m cannot improve the
+// running minimum (the true min is at least the bound), so it is skipped in
+// O(1); any other block is member-scanned. The caller has established
+// segs[i].Time < end.
+func (p *Profile) minFreeBlockwise(i int, end int64, m int) int {
+	// Last segment whose span intersects the window: the last one starting
+	// strictly before end.
+	j := p.seek(end)
+	if p.segs[j].Time >= end {
+		j--
+	}
+	bi, s := p.locateBlock(i)
+	k := i
+	for k <= j {
+		b := p.blocks[bi]
+		e := s + int(b.n)
+		if int(b.min) >= m {
+			k = e
+		} else {
+			hi := min(e-1, j)
+			for ; k <= hi; k++ {
+				if p.segs[k].Free < m {
+					m = p.segs[k].Free
+				}
+			}
+		}
+		s = e
+		bi++
+	}
+	return m
+}

@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// checkIndex validates the block index against the segment slice it claims
+// to summarise: blocks partition segs exactly, and every block's bounds
+// *contain* the true min/max of its members — the containment invariant
+// conservative maintenance guarantees (bounds may be loose after partial
+// range updates until a query-side scan retightens them, but must never
+// exclude a member). Called after every op in the fuzz below, so any
+// containment break in incremental maintenance is caught at the op that
+// caused it.
+func checkIndex(t *testing.T, p *Profile, ctx string) {
+	t.Helper()
+	if !p.idxOn {
+		if len(p.blocks) != 0 {
+			t.Fatalf("%s: index off but %d blocks retained", ctx, len(p.blocks))
+		}
+		return
+	}
+	s := 0
+	for bi, b := range p.blocks {
+		if b.n <= 0 {
+			t.Fatalf("%s: block %d has n=%d", ctx, bi, b.n)
+		}
+		if s+int(b.n) > len(p.segs) {
+			t.Fatalf("%s: blocks overrun segs (%d > %d)", ctx, s+int(b.n), len(p.segs))
+		}
+		want := makeBlock(p.segs[s : s+int(b.n)])
+		if b.min > want.min || b.max < want.max {
+			t.Fatalf("%s: block %d (segs [%d,%d)) bounds %d/%d exclude true range %d/%d",
+				ctx, bi, s, s+int(b.n), b.min, b.max, want.min, want.max)
+		}
+		s += int(b.n)
+	}
+	if s != len(p.segs) {
+		t.Fatalf("%s: blocks cover %d of %d segments", ctx, s, len(p.segs))
+	}
+}
+
+// TestProfileIndexDifferential drives an always-indexed profile and a
+// never-indexed twin through identical random op sequences — reserves
+// (FindStart-placed, arbitrary, and ReserveFound), checkpoint/rollback
+// nests, ResetSpans rebuilds, and FreeAt/MinFree/FindStart probes including
+// degenerate durations — and requires identical answers and segment lists
+// throughout, with the index validated against the skyline after every op.
+// The monotonic walk is the golden model, mirroring
+// TestProfileDifferentialOldVsNew one layer down. escapeWalk is forced to 0
+// so every indexed query takes the blockwise path from its first step —
+// the small skylines here would otherwise rarely walk far enough to escape
+// (the deep differential below covers the hybrid escape at its default).
+func TestProfileIndexDifferential(t *testing.T) {
+	defer func(old int) { escapeWalk = old }(escapeWalk)
+	escapeWalk = 0
+	for seed := uint64(1); seed <= 40; seed++ {
+		r := stats.NewRNG(seed)
+		total := []int{1, 4, 32, 100}[r.Intn(4)]
+		from := r.Int63n(200) - 100
+		idx := NewProfile(total, from)
+		idx.SetIndexThreshold(2) // engage the index almost immediately
+		walk := NewProfile(total, from)
+		walk.SetIndexThreshold(-1) // never index: pure monotonic walk
+		var marks []struct{ i, w int }
+		for step := 0; step < 160; step++ {
+			switch r.Intn(6) {
+			case 0: // reserve, FindStart-placed
+				procs := r.Intn(total+4) + 1
+				dur := r.Int63n(200) + 1
+				after := from + r.Int63n(400) - 50
+				sIdx := idx.FindStart(after, dur, procs)
+				sWalk := walk.FindStart(after, dur, procs)
+				if sIdx != sWalk {
+					t.Fatalf("seed %d step %d: FindStart(%d,%d,%d) = %d, walk %d",
+						seed, step, after, dur, procs, sIdx, sWalk)
+				}
+				errIdx := idx.Reserve(sIdx, sIdx+dur, procs)
+				errWalk := walk.Reserve(sWalk, sWalk+dur, procs)
+				if (errIdx == nil) != (errWalk == nil) {
+					t.Fatalf("seed %d step %d: reserve disagreement: idx %v, walk %v",
+						seed, step, errIdx, errWalk)
+				}
+			case 1: // arbitrary reserve (often rejected), sometimes ReserveFound
+				procs := r.Intn(total+4) + 1
+				start := from + r.Int63n(500) - 150
+				end := start + r.Int63n(250) - 20
+				var errIdx, errWalk error
+				if r.Bool(0.3) && idx.MinFree(start, end) >= procs && end > start && procs <= total {
+					errIdx = idx.ReserveFound(start, end, procs)
+					errWalk = walk.ReserveFound(start, end, procs)
+				} else {
+					errIdx = idx.Reserve(start, end, procs)
+					errWalk = walk.Reserve(start, end, procs)
+				}
+				if (errIdx == nil) != (errWalk == nil) {
+					t.Fatalf("seed %d step %d: reserve [%d,%d)x%d: idx %v, walk %v",
+						seed, step, start, end, procs, errIdx, errWalk)
+				}
+			case 2: // point and range probes
+				at := from + r.Int63n(500) - 150
+				if a, b := idx.FreeAt(at), walk.FreeAt(at); a != b {
+					t.Fatalf("seed %d step %d: FreeAt(%d) = %d, walk %d", seed, step, at, a, b)
+				}
+				lo := from + r.Int63n(500) - 150
+				hi := lo + r.Int63n(300) - 30
+				if a, b := idx.MinFree(lo, hi), walk.MinFree(lo, hi); a != b {
+					t.Fatalf("seed %d step %d: MinFree(%d,%d) = %d, walk %d", seed, step, lo, hi, a, b)
+				}
+			case 3: // FindStart probe, including zero/negative durations
+				procs := r.Intn(total+4) + 1
+				dur := r.Int63n(200) - 10
+				after := from + r.Int63n(500) - 150
+				if a, b := idx.FindStart(after, dur, procs), walk.FindStart(after, dur, procs); a != b {
+					t.Fatalf("seed %d step %d: FindStart(%d,%d,%d) = %d, walk %d",
+						seed, step, after, dur, procs, a, b)
+				}
+			case 4: // checkpoint / rollback
+				if len(marks) > 0 && r.Bool(0.5) {
+					mk := marks[len(marks)-1]
+					marks = marks[:len(marks)-1]
+					idx.Rollback(mk.i)
+					walk.Rollback(mk.w)
+				} else {
+					marks = append(marks, struct{ i, w int }{idx.Checkpoint(), walk.Checkpoint()})
+				}
+			case 5: // ResetSpans rebuild (rarely: it wipes the interesting state)
+				if !r.Bool(0.15) {
+					continue
+				}
+				spans := make([]Span, r.Intn(6))
+				spans2 := make([]Span, len(spans))
+				for i := range spans {
+					spans[i] = Span{
+						End:   from + r.Int63n(400) - 20,
+						Procs: r.Intn(total/2+2) + 1,
+					}
+					spans2[i] = spans[i]
+				}
+				idx.ResetSpans(total, from, spans)
+				walk.ResetSpans(total, from, spans2)
+				marks = marks[:0]
+			}
+			if len(idx.segs) != len(walk.segs) {
+				t.Fatalf("seed %d step %d: %d segments, walk %d", seed, step, len(idx.segs), len(walk.segs))
+			}
+			for i := range idx.segs {
+				if idx.segs[i] != walk.segs[i] {
+					t.Fatalf("seed %d step %d: segment %d = %+v, walk %+v",
+						seed, step, i, idx.segs[i], walk.segs[i])
+				}
+			}
+			checkIndex(t, idx, "idx twin")
+			if walk.idxOn {
+				t.Fatalf("seed %d step %d: walk twin grew an index", seed, step)
+			}
+		}
+	}
+}
+
+// deepProfile builds a skyline with roughly 2*n segments by reserving
+// staggered non-overlapping windows (each contributes a reserved segment and
+// a full-capacity gap), checkpointing halfway so the caller can exercise
+// rollback across the indexed regime.
+func deepProfile(total int, n int, r *stats.RNG) (*Profile, int) {
+	p := NewProfile(total, 0)
+	mark := -1
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			mark = p.Checkpoint()
+		}
+		procs := r.Intn(total-1) + 1
+		start := int64(i) * 100
+		dur := r.Int63n(60) + 20
+		_ = p.Reserve(start, start+dur, procs)
+	}
+	return p, mark
+}
+
+// TestProfileIndexDeepDifferential exercises the index in its natural
+// regime: thousands of segments, the default threshold engaging on its own,
+// probes compared against a never-indexed twin, then a rollback across
+// half the skyline with the index still valid afterwards.
+func TestProfileIndexDeepDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r1 := stats.NewRNG(seed)
+		r2 := stats.NewRNG(seed)
+		const total, jobs = 512, 800
+		idx, markIdx := deepProfile(total, jobs, r1)
+		walk := NewProfile(total, 0)
+		walk.SetIndexThreshold(-1)
+		walkDeep, markWalk := func() (*Profile, int) {
+			p := walk
+			mark := -1
+			for i := 0; i < jobs; i++ {
+				if i == jobs/2 {
+					mark = p.Checkpoint()
+				}
+				procs := r2.Intn(total-1) + 1
+				start := int64(i) * 100
+				dur := r2.Int63n(60) + 20
+				_ = p.Reserve(start, start+dur, procs)
+			}
+			return p, mark
+		}()
+		if !idx.Indexed() {
+			t.Fatalf("seed %d: %d segments did not engage the default index threshold", seed, idx.Segments())
+		}
+		if walkDeep.Indexed() {
+			t.Fatal("walk twin indexed despite threshold -1")
+		}
+		checkIndex(t, idx, "deep build")
+		probe := stats.NewRNG(seed + 100)
+		horizon := int64(jobs) * 100
+		for q := 0; q < 400; q++ {
+			procs := probe.Intn(total+10) + 1
+			dur := probe.Int63n(500) + 1
+			after := probe.Int63n(horizon + 2000)
+			if a, b := idx.FindStart(after, dur, procs), walkDeep.FindStart(after, dur, procs); a != b {
+				t.Fatalf("seed %d probe %d: FindStart(%d,%d,%d) = %d, walk %d",
+					seed, q, after, dur, procs, a, b)
+			}
+			lo := probe.Int63n(horizon)
+			hi := lo + probe.Int63n(3000) - 100
+			if a, b := idx.MinFree(lo, hi), walkDeep.MinFree(lo, hi); a != b {
+				t.Fatalf("seed %d probe %d: MinFree(%d,%d) = %d, walk %d", seed, q, lo, hi, a, b)
+			}
+		}
+		idx.Rollback(markIdx)
+		walkDeep.Rollback(markWalk)
+		checkIndex(t, idx, "after rollback")
+		if len(idx.segs) != len(walkDeep.segs) {
+			t.Fatalf("seed %d: %d segments after rollback, walk %d", seed, len(idx.segs), len(walkDeep.segs))
+		}
+		for i := range idx.segs {
+			if idx.segs[i] != walkDeep.segs[i] {
+				t.Fatalf("seed %d: segment %d after rollback = %+v, walk %+v",
+					seed, i, idx.segs[i], walkDeep.segs[i])
+			}
+		}
+	}
+}
+
+// TestProfileIndexHysteresis pins the engage/drop behaviour: the index
+// builds when the skyline grows to the enable threshold and drops when a
+// rollback shrinks it below the disable threshold, without ever changing an
+// answer (the differential above covers the answers; this covers the state).
+func TestProfileIndexHysteresis(t *testing.T) {
+	p := NewProfile(64, 0)
+	p.SetIndexThreshold(16)
+	if p.Indexed() {
+		t.Fatal("fresh profile indexed")
+	}
+	mark := p.Checkpoint()
+	for i := 0; i < 12; i++ { // 2 segments each: well past enable=16
+		start := int64(i) * 100
+		_ = p.Reserve(start, start+50, i%8+1)
+	}
+	if !p.Indexed() {
+		t.Fatalf("index did not engage at %d segments (threshold 16)", p.Segments())
+	}
+	checkIndex(t, p, "grown")
+	p.Rollback(mark)
+	if p.Segments() != 1 {
+		t.Fatalf("rollback left %d segments", p.Segments())
+	}
+	if p.Indexed() {
+		t.Fatal("index survived shrinking below the disable threshold")
+	}
+	// Reset with the override still in place re-applies it.
+	for i := 0; i < 12; i++ {
+		start := int64(i) * 100
+		_ = p.Reserve(start, start+50, i%8+1)
+	}
+	if !p.Indexed() {
+		t.Fatal("index did not re-engage after rollback")
+	}
+	p.Reset(64, 0)
+	if p.Indexed() {
+		t.Fatal("Reset kept the index on a 1-segment skyline")
+	}
+	p.SetIndexThreshold(-1)
+	for i := 0; i < 400; i++ {
+		start := int64(i) * 100
+		_ = p.Reserve(start, start+50, i%8+1)
+	}
+	if p.Indexed() {
+		t.Fatal("threshold -1 still built an index")
+	}
+}
+
+// TestVecProfileIndexWidth1 pins the degenerate case the planner relies on:
+// a VecProfile with the memory dimension off and the index engaged answers
+// FindStart/MinFree exactly like a never-indexed scalar profile.
+func TestVecProfileIndexWidth1(t *testing.T) {
+	r := stats.NewRNG(11)
+	v := NewVecProfile(128, 0, 0)
+	v.SetIndexThreshold(4)
+	p := NewProfile(128, 0)
+	p.SetIndexThreshold(-1)
+	for i := 0; i < 300; i++ {
+		procs := r.Intn(100) + 1
+		dur := r.Int63n(300) + 1
+		after := r.Int63n(20000)
+		sv := v.FindStart(after, dur, procs, 0)
+		sp := p.FindStart(after, dur, procs)
+		if sv != sp {
+			t.Fatalf("step %d: vec FindStart %d, scalar walk %d", i, sv, sp)
+		}
+		_ = v.ReserveFound(sv, sv+dur, procs, 0)
+		_ = p.ReserveFound(sp, sp+dur, procs)
+		lo := r.Int63n(20000)
+		hi := lo + r.Int63n(500)
+		if a, b := v.MinFree(lo, hi), p.MinFree(lo, hi); a != b {
+			t.Fatalf("step %d: vec MinFree %d, scalar walk %d", i, a, b)
+		}
+	}
+	if !v.p.Indexed() {
+		t.Fatalf("vec procs dimension never engaged its index (%d segments)", v.p.Segments())
+	}
+}
+
+// TestProfileIndexedQueryAllocs pins the indexed query paths at zero
+// allocations: FindStart and MinFree over a deep indexed skyline must not
+// allocate, or the per-job scoring hot path regresses.
+func TestProfileIndexedQueryAllocs(t *testing.T) {
+	r := stats.NewRNG(3)
+	p, _ := deepProfile(512, 800, r)
+	if !p.Indexed() {
+		t.Fatalf("deep profile not indexed (%d segments)", p.Segments())
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		after := int64(i%70000) * 1
+		_ = p.FindStart(after, int64(i%900)+30, i%500+1)
+		_ = p.MinFree(after, after+int64(i%5000)+100)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("indexed FindStart/MinFree allocate %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -25,9 +25,26 @@ func Workloads(n int, seed uint64) []*trace.Trace {
 	}
 }
 
+// hugeSeedOff is the seed offset of the huge composition, continuing the
+// per-workload offsets ResolveTrace assigns (sdsc-sp2 +1 ... lublin-2 +4).
+const hugeSeedOff = 5
+
+// IsBuiltin reports whether name resolves to a built-in generated workload
+// (so n jobs are drawn from its generator) as opposed to an SWF file path.
+// Callers that document different -n semantics for files versus generators
+// (traceinfo reads whole files, but must cap generators somewhere) use this
+// to decide what to pass ResolveTrace.
+func IsBuiltin(name string) bool {
+	switch strings.ToLower(name) {
+	case "sdsc-sp2", "sdsc", "hpc2n", "lublin-1", "lublin1", "lublin-2", "lublin2", "huge", "lublin-huge":
+		return true
+	}
+	return false
+}
+
 // ResolveTrace returns a workload by built-in name ("sdsc-sp2", "hpc2n",
-// "lublin-1", "lublin-2", case-insensitive) generated with n jobs, or parses
-// the argument as an SWF file path.
+// "lublin-1", "lublin-2", "huge", case-insensitive) generated with n jobs,
+// or parses the argument as an SWF file path.
 func ResolveTrace(nameOrPath string, n int, seed uint64) (*trace.Trace, error) {
 	switch strings.ToLower(nameOrPath) {
 	case "sdsc-sp2", "sdsc":
@@ -38,6 +55,8 @@ func ResolveTrace(nameOrPath string, n int, seed uint64) (*trace.Trace, error) {
 		return lublin.Generate1(n, seed+3), nil
 	case "lublin-2", "lublin2":
 		return lublin.Generate2(n, seed+4), nil
+	case "huge", "lublin-huge":
+		return HugeTrace(lublin.Huge(0, 0, 0), n, seed), nil
 	}
 	t, err := trace.LoadSWFFile(nameOrPath)
 	if err != nil {
@@ -47,6 +66,63 @@ func ResolveTrace(nameOrPath string, n int, seed uint64) (*trace.Trace, error) {
 		t = t.Head(n)
 	}
 	return t, nil
+}
+
+// TraceStream is the streaming form of a built-in workload: the machine
+// header plus a generator that hands jobs to yield in submit order, so CLI
+// tools can write or summarize million-job workloads with flat RSS.
+type TraceStream struct {
+	Name  string
+	Procs int
+	Run   func(yield func(*trace.Job) error) error
+}
+
+// ResolveStream returns the streaming form of a built-in workload, using the
+// same per-name seed offsets as ResolveTrace so the streamed jobs are
+// byte-identical to the materialized ones. SWF paths (and unknown names)
+// report ok=false; callers fall back to ResolveTrace.
+func ResolveStream(name string, n int, seed uint64) (TraceStream, bool) {
+	switch strings.ToLower(name) {
+	case "sdsc-sp2", "sdsc":
+		s := trace.SDSCSP2Spec()
+		return synthStream(s, n, seed+1), true
+	case "hpc2n":
+		s := trace.HPC2NSpec()
+		return synthStream(s, n, seed+2), true
+	case "lublin-1", "lublin1":
+		return lublinStream(lublin.Lublin1(), n, seed+3), true
+	case "lublin-2", "lublin2":
+		return lublinStream(lublin.Lublin2(), n, seed+4), true
+	case "huge", "lublin-huge":
+		return HugeStream(lublin.Huge(0, 0, 0), n, seed), true
+	}
+	return TraceStream{}, false
+}
+
+func synthStream(s trace.SynthSpec, n int, seed uint64) TraceStream {
+	return TraceStream{Name: s.Name, Procs: s.Procs, Run: func(yield func(*trace.Job) error) error {
+		return s.Stream(n, seed, yield)
+	}}
+}
+
+func lublinStream(p lublin.Params, n int, seed uint64) TraceStream {
+	return TraceStream{Name: p.Name, Procs: p.Procs, Run: func(yield func(*trace.Job) error) error {
+		return p.Stream(n, seed, yield)
+	}}
+}
+
+// HugeStream is the streaming form of a huge composition with explicit
+// geometry (tracegen's -nodes/-streams/-load); it applies the same seed
+// offset as ResolveTrace's "huge" case, so default-geometry output matches.
+func HugeStream(spec lublin.HugeSpec, n int, seed uint64) TraceStream {
+	return TraceStream{Name: spec.Name(), Procs: spec.Nodes, Run: func(yield func(*trace.Job) error) error {
+		return spec.Stream(n, seed+hugeSeedOff, yield)
+	}}
+}
+
+// HugeTrace materializes a huge composition under the same seed offset.
+func HugeTrace(spec lublin.HugeSpec, n int, seed uint64) *trace.Trace {
+	return spec.Generate(n, seed+hugeSeedOff)
 }
 
 // Estimator returns the reservation estimator appropriate for the workload
@@ -64,7 +140,7 @@ func estimatorFor(t *trace.Trace) backfill.Estimator {
 }
 
 func isSynthetic(t *trace.Trace) bool {
-	return t.Name == "Lublin-1" || t.Name == "Lublin-2"
+	return t.Name == "Lublin-1" || t.Name == "Lublin-2" || t.Name == "Lublin-Huge"
 }
 
 // Zoo holds trained RLBackfilling models keyed by "<policy>/<trace>",

@@ -1,0 +1,110 @@
+package lublin
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestLublinStreamMatchesGenerate pins that the streaming generator yields
+// exactly the jobs Generate materializes for both presets.
+func TestLublinStreamMatchesGenerate(t *testing.T) {
+	for _, p := range []Params{Lublin1(), Lublin2()} {
+		want := p.Generate(1500, 11)
+		var got []*trace.Job
+		if err := p.Stream(1500, 11, func(j *trace.Job) error {
+			got = append(got, j)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: stream error: %v", p.Name, err)
+		}
+		if len(got) != want.Len() {
+			t.Fatalf("%s: stream yielded %d jobs, generate %d", p.Name, len(got), want.Len())
+		}
+		for i, j := range got {
+			if *j != *want.Jobs[i] {
+				t.Fatalf("%s: job %d differs: stream %+v, generate %+v", p.Name, i, *j, *want.Jobs[i])
+			}
+		}
+	}
+}
+
+// TestHugeStreamMatchesGenerate pins the composition's two entry points
+// against each other.
+func TestHugeStreamMatchesGenerate(t *testing.T) {
+	h := Huge(1024, 4, 0.8)
+	want := h.Generate(5000, 2)
+	i := 0
+	if err := h.Stream(5000, 2, func(j *trace.Job) error {
+		if *j != *want.Jobs[i] {
+			t.Fatalf("job %d differs: stream %+v, generate %+v", i, *j, *want.Jobs[i])
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != want.Len() {
+		t.Fatalf("stream yielded %d jobs, generate %d", i, want.Len())
+	}
+}
+
+// TestHugeInvariants checks the merged composition obeys the Trace
+// invariants and the partition geometry: submit-sorted starting at 0,
+// IDs 1..n in order, job widths within one partition, users drawn from
+// disjoint per-partition populations.
+func TestHugeInvariants(t *testing.T) {
+	h := Huge(0, 0, 0) // defaults: 4096 nodes, 16 streams, load 0.8
+	if h.Nodes != 4096 || h.Streams != 16 || h.Load != 0.8 {
+		t.Fatalf("defaults: %+v", h)
+	}
+	tr := h.Generate(20000, 1)
+	if tr.Name != "Lublin-Huge" || tr.Procs != 4096 {
+		t.Fatalf("trace header: name %q procs %d", tr.Name, tr.Procs)
+	}
+	if tr.Jobs[0].Submit != 0 {
+		t.Fatalf("first submit %d, want 0", tr.Jobs[0].Submit)
+	}
+	maxUser := h.Streams * h.Base.Users
+	var prev int64
+	for i, j := range tr.Jobs {
+		if j.ID != i+1 {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		if j.Submit < prev {
+			t.Fatalf("job %d submit %d < previous %d (merge out of order)", i, j.Submit, prev)
+		}
+		prev = j.Submit
+		if j.Procs < 1 || j.Procs > h.Base.Procs {
+			t.Fatalf("job %d width %d outside partition [1,%d]", i, j.Procs, h.Base.Procs)
+		}
+		if j.Runtime < 1 || j.Runtime > h.Base.MaxRuntime {
+			t.Fatalf("job %d runtime %d outside [1,%d]", i, j.Runtime, h.Base.MaxRuntime)
+		}
+		if j.Request != j.Runtime {
+			t.Fatalf("job %d request %d != runtime %d (synthetic traces carry no estimate)", i, j.Request, j.Runtime)
+		}
+		if j.User < 1 || j.User > maxUser {
+			t.Fatalf("job %d user %d outside [1,%d]", i, j.User, maxUser)
+		}
+	}
+}
+
+// TestHugeLoadCalibration checks the single-pass calibration steers the
+// offered load — sum(runtime*procs) over span*nodes — to the target within
+// the statistical tolerance the pre-sample admits.
+func TestHugeLoadCalibration(t *testing.T) {
+	h := Huge(0, 0, 0)
+	tr := h.Generate(60000, 1)
+	var work float64
+	for _, j := range tr.Jobs {
+		work += float64(j.Runtime) * float64(j.Procs)
+	}
+	span := float64(tr.Jobs[tr.Len()-1].Submit - tr.Jobs[0].Submit)
+	load := work / (span * float64(h.Nodes))
+	if load < 0.8*h.Load || load > 1.2*h.Load {
+		t.Fatalf("offered load %.3f, want within 20%% of target %.2f", load, h.Load)
+	}
+	t.Logf("huge composition: offered load %.3f (target %.2f), %d jobs over %.1f days",
+		load, h.Load, tr.Len(), span/86400)
+}

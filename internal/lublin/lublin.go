@@ -96,10 +96,29 @@ func Lublin2() Params {
 // Generate produces an n-job trace from the model, deterministically for a
 // given seed.
 func (p Params) Generate(n int, seed uint64) *trace.Trace {
-	rng := stats.NewRNG(seed)
 	t := &trace.Trace{Name: p.Name, Procs: p.Procs}
+	if n > 0 {
+		t.Jobs = make([]*trace.Job, 0, n)
+		_ = p.Stream(n, seed, func(j *trace.Job) error {
+			t.Jobs = append(t.Jobs, j)
+			return nil
+		})
+	}
+	return t
+}
+
+// Stream produces the same n jobs Generate does — same RNG consumption
+// order, hence byte-identical jobs — but hands each one to yield as it is
+// built instead of materializing a job slice, so million-job archives can be
+// written straight to disk with flat RSS. The model's global rescale (sample
+// mean -> Table 2 targets) still needs one scalar per job per pass (an int
+// and two float64s); what streaming avoids is the job structs themselves,
+// which dominate the footprint. Stream stops and returns the first error
+// yield reports.
+func (p Params) Stream(n int, seed uint64, yield func(*trace.Job) error) error {
+	rng := stats.NewRNG(seed)
 	if n <= 0 {
-		return t
+		return nil
 	}
 
 	procs := make([]int, n)
@@ -107,27 +126,14 @@ func (p Params) Generate(n int, seed uint64) *trace.Trace {
 		procs[i] = p.sampleProcs(rng)
 	}
 
-	// Hyper-gamma runtime shapes in log space, then rescaled so the sample
-	// mean hits MeanRuntime.
+	// Hyper-gamma runtime shapes in log space (runtimeShape: the draw is a
+	// log-runtime-like quantity, exp maps it to a heavy-tailed positive
+	// shape), then rescaled so the sample mean hits MeanRuntime.
 	shapes := make([]float64, n)
 	var sum float64
 	for i := range shapes {
-		mix := p.PA*float64(procs[i]) + p.PB
-		if mix < p.PMin {
-			mix = p.PMin
-		}
-		if mix > p.PMax {
-			mix = p.PMax
-		}
-		g := rng.HyperGamma(p.A1, p.B1, p.A2, p.B2, mix)
-		// The model interprets the hyper-gamma draw as a log-runtime-like
-		// quantity; exp maps it to a heavy-tailed positive runtime shape.
-		v := math.Exp(g * 0.9)
-		if v > 1e7 {
-			v = 1e7
-		}
-		shapes[i] = v
-		sum += v
+		shapes[i] = p.runtimeShape(rng, procs[i])
+		sum += shapes[i]
 	}
 	scale := p.MeanRuntime * float64(n) / sum
 
@@ -156,7 +162,7 @@ func (p Params) Generate(n int, seed uint64) *trace.Trace {
 		if run > p.MaxRuntime {
 			run = p.MaxRuntime
 		}
-		t.Jobs = append(t.Jobs, &trace.Job{
+		j := &trace.Job{
 			ID:      i + 1,
 			Submit:  int64(submit),
 			Runtime: run,
@@ -166,9 +172,12 @@ func (p Params) Generate(n int, seed uint64) *trace.Trace {
 			Procs:   procs[i],
 			User:    1 + rng.Intn(p.Users),
 			Status:  1,
-		})
+		}
+		if err := yield(j); err != nil {
+			return err
+		}
 	}
-	return t
+	return nil
 }
 
 func (p Params) sampleProcs(rng *stats.RNG) int {

@@ -81,6 +81,15 @@ type Config struct {
 	// Overlap is the number of jobs replayed on each flank of a window
 	// (warm-up before, cool-down after) and discarded. Larger overlaps make
 	// the stitch exact at the cost of duplicated simulation work.
+	//
+	// Overlap 0 (with sharding enabled) selects drain-aware auto-sizing: a
+	// linear pre-pass over the trace detects drain points, pins every
+	// window's flanks to them (exact by construction), and merges windows
+	// whose cut cannot reach a drain economically — a workload that never
+	// drains degrades to fewer, larger windows rather than a drifting
+	// stitch, collapsing to the sequential replay in the limit. See
+	// autosize.go. An explicit Overlap > 0 keeps the historical fixed
+	// symmetric flanks and their documented tolerance.
 	Overlap int
 	// MinJobs is the auto-off threshold (DefaultMinJobs when 0): traces
 	// with fewer jobs replay sequentially.
@@ -157,6 +166,12 @@ func ReplayScenario(t *trace.Trace, policy sched.Policy, scn sched.Scenario, mkB
 		return sequential(t, sim.Config{Policy: policy, Scenario: scn, Backfiller: mkBF()})
 	}
 	cuts := sc.cutIndices(t)
+	if len(cuts) <= 2 {
+		return sequential(t, sim.Config{Policy: policy, Scenario: scn, Backfiller: mkBF()})
+	}
+	// Auto-sizing may merge windows whose cut cannot reach a drain; a fully
+	// undrainable trace collapses to one window, i.e. the sequential replay.
+	cuts, flanks := autoFlanks(t, sc, cuts)
 	numWin := len(cuts) - 1
 	if numWin <= 1 {
 		return sequential(t, sim.Config{Policy: policy, Scenario: scn, Backfiller: mkBF()})
@@ -171,8 +186,8 @@ func ReplayScenario(t *trace.Trace, policy sched.Policy, scn sched.Scenario, mkB
 	for w := 0; w < numWin; w++ {
 		w := w
 		g.Go(1, func() error {
-			errs[w] = replayWindow(t, sim.Config{Policy: policy, Scenario: scn, Backfiller: mkBF()}, sc,
-				cuts[w], cuts[w+1], index, records)
+			errs[w] = replayWindow(t, sim.Config{Policy: policy, Scenario: scn, Backfiller: mkBF()},
+				cuts[w], cuts[w+1], flanks[w], index, records)
 			return nil // indexed slots give deterministic error selection
 		})
 	}
@@ -212,16 +227,14 @@ func (c Config) cutIndices(t *trace.Trace) []int {
 	return append(cuts, n)
 }
 
-// replayWindow simulates one window's extended range on a fresh engine and
-// writes the proper region [propStart, propEnd)'s records into their
-// trace-order slots of out. The replay stops as soon as every owned job has
-// started — a record's End is fixed at start time — so the drain of the
-// cool-down region is never simulated.
-func replayWindow(t *trace.Trace, cfg sim.Config, sc Config, propStart, propEnd int,
+// replayWindow simulates one window's extended range [fl.lo, fl.hi) on a
+// fresh engine and writes the proper region [propStart, propEnd)'s records
+// into their trace-order slots of out. The replay stops as soon as every
+// owned job has started — a record's End is fixed at start time — so the
+// drain of the cool-down region is never simulated.
+func replayWindow(t *trace.Trace, cfg sim.Config, propStart, propEnd int, fl flank,
 	index map[*trace.Job]int, out []metrics.Record) error {
-	n := t.Len()
-	lo := max(propStart-sc.Overlap, 0)
-	hi := min(propEnd+sc.Overlap, n)
+	lo, hi := fl.lo, fl.hi
 	// The sub-trace shares job pointers with t: engines never mutate jobs,
 	// so concurrent windows can read them race-free.
 	sub := &trace.Trace{Name: t.Name, Procs: t.Procs, Mem: t.Mem, Jobs: t.Jobs[lo:hi]}

@@ -3,8 +3,6 @@ package trace
 import (
 	"fmt"
 	"strings"
-
-	"repro/internal/stats"
 )
 
 // Stats summarises the characteristics Table 2 of the paper reports for each
@@ -32,50 +30,101 @@ type Stats struct {
 
 // ComputeStats derives workload statistics from a trace.
 func ComputeStats(t *Trace) Stats {
-	s := Stats{Name: t.Name, Jobs: len(t.Jobs), Procs: t.Procs, Mem: t.Mem}
-	if len(t.Jobs) == 0 {
+	a := NewStatsAccum(t.Name, t.Procs, t.Mem)
+	for _, j := range t.Jobs {
+		a.Add(j)
+	}
+	return a.Stats()
+}
+
+// StatsAccum accumulates the Table 2 statistics one job at a time, so a
+// streamed workload (experiments.ResolveStream, lublin.HugeSpec.Stream) can
+// be summarized without ever materializing a job slice. Jobs must arrive in
+// submit order, as they do in a trace. ComputeStats is built on the
+// accumulator, so the two paths agree bit-for-bit: every mean is a single
+// linear sum in job order, exactly the summation stats.Mean performed over
+// the per-job slices.
+type StatsAccum struct {
+	s           Stats
+	firstSubmit int64
+	prevSubmit  int64
+	gapSum      float64
+	reqSum      float64
+	runSum      float64
+	procSum     float64
+	overSum     float64
+	overN       int
+	memSum      float64
+	dist        map[int]int
+}
+
+// NewStatsAccum starts a summary for a machine of the given name, processor
+// count and total memory capacity (0 = memory dimension off).
+func NewStatsAccum(name string, procs, mem int) *StatsAccum {
+	return &StatsAccum{
+		s:    Stats{Name: name, Procs: procs, Mem: mem},
+		dist: make(map[int]int),
+	}
+}
+
+// Add folds one job into the summary.
+func (a *StatsAccum) Add(j *Job) {
+	if a.s.Jobs == 0 {
+		a.firstSubmit = j.Submit
+	} else {
+		a.gapSum += float64(j.Submit - a.prevSubmit)
+	}
+	a.prevSubmit = j.Submit
+	a.s.Jobs++
+	a.reqSum += float64(j.Request)
+	a.runSum += float64(j.Runtime)
+	a.procSum += float64(j.Procs)
+	if j.Runtime > 0 {
+		a.overSum += float64(j.Request) / float64(j.Runtime)
+		a.overN++
+	}
+	if j.Procs > a.s.MaxJobProcs {
+		a.s.MaxJobProcs = j.Procs
+	}
+	if j.Mem > 0 {
+		a.s.JobsWithMem++
+		a.memSum += float64(j.Mem)
+		if j.Mem > a.s.MaxJobMem {
+			a.s.MaxJobMem = j.Mem
+		}
+	}
+	if j.Priority > a.s.PriorityMax {
+		a.s.PriorityMax = j.Priority
+	}
+	a.dist[j.Priority]++
+}
+
+// Stats finalizes and returns the summary; the accumulator may keep
+// receiving jobs afterwards (Stats is a snapshot).
+func (a *StatsAccum) Stats() Stats {
+	s := a.s
+	if s.Jobs == 0 {
 		return s
 	}
-	var gaps, reqs, runs, procs, overs, mems []float64
-	var prev int64
-	for i, j := range t.Jobs {
-		if i > 0 {
-			gaps = append(gaps, float64(j.Submit-prev))
-		}
-		prev = j.Submit
-		reqs = append(reqs, float64(j.Request))
-		runs = append(runs, float64(j.Runtime))
-		procs = append(procs, float64(j.Procs))
-		if j.Runtime > 0 {
-			overs = append(overs, float64(j.Request)/float64(j.Runtime))
-		}
-		if j.Procs > s.MaxJobProcs {
-			s.MaxJobProcs = j.Procs
-		}
-		if j.Mem > 0 {
-			s.JobsWithMem++
-			mems = append(mems, float64(j.Mem))
-			if j.Mem > s.MaxJobMem {
-				s.MaxJobMem = j.Mem
-			}
-		}
-		if j.Priority > s.PriorityMax {
-			s.PriorityMax = j.Priority
-		}
+	if n := s.Jobs - 1; n > 0 {
+		s.MeanInterarrival = a.gapSum / float64(n)
 	}
-	s.MeanMem = stats.Mean(mems)
+	s.MeanRequest = a.reqSum / float64(s.Jobs)
+	s.MeanRuntime = a.runSum / float64(s.Jobs)
+	s.MeanProcs = a.procSum / float64(s.Jobs)
+	if a.overN > 0 {
+		s.MeanOverestimate = a.overSum / float64(a.overN)
+	}
+	if s.JobsWithMem > 0 {
+		s.MeanMem = a.memSum / float64(s.JobsWithMem)
+	}
 	if s.PriorityMax > 0 {
-		s.PriorityDist = make(map[int]int)
-		for _, j := range t.Jobs {
-			s.PriorityDist[j.Priority]++
+		s.PriorityDist = make(map[int]int, len(a.dist))
+		for tier, n := range a.dist {
+			s.PriorityDist[tier] = n
 		}
 	}
-	s.MeanInterarrival = stats.Mean(gaps)
-	s.MeanRequest = stats.Mean(reqs)
-	s.MeanRuntime = stats.Mean(runs)
-	s.MeanProcs = stats.Mean(procs)
-	s.MeanOverestimate = stats.Mean(overs)
-	s.Span = t.Jobs[len(t.Jobs)-1].Submit - t.Jobs[0].Submit
+	s.Span = a.prevSubmit - a.firstSubmit
 	return s
 }
 

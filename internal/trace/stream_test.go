@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSynthStreamMatchesGenerate pins that the streaming generator yields
+// exactly the jobs Generate materializes — same RNG consumption, same
+// values — for both surrogate specs.
+func TestSynthStreamMatchesGenerate(t *testing.T) {
+	for _, spec := range []SynthSpec{SDSCSP2Spec(), HPC2NSpec()} {
+		want := spec.Generate(1500, 7)
+		var got []*Job
+		if err := spec.Stream(1500, 7, func(j *Job) error {
+			got = append(got, j)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: stream error: %v", spec.Name, err)
+		}
+		if len(got) != want.Len() {
+			t.Fatalf("%s: stream yielded %d jobs, generate %d", spec.Name, len(got), want.Len())
+		}
+		for i, j := range got {
+			if *j != *want.Jobs[i] {
+				t.Fatalf("%s: job %d differs: stream %+v, generate %+v", spec.Name, i, *j, *want.Jobs[i])
+			}
+		}
+	}
+}
+
+// TestStreamStopsOnYieldError pins the early-exit contract.
+func TestStreamStopsOnYieldError(t *testing.T) {
+	spec := SDSCSP2Spec()
+	count := 0
+	err := spec.Stream(100, 1, func(j *Job) error {
+		count++
+		if count == 10 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop {
+		t.Fatalf("stream returned %v, want the yield error", err)
+	}
+	if count != 10 {
+		t.Fatalf("stream yielded %d jobs after the error, want 10", count)
+	}
+}
+
+type stopErr struct{}
+
+func (stopErr) Error() string { return "stop" }
+
+var errStop = stopErr{}
+
+// TestSWFWriterMatchesWriteSWF pins the streaming writer's refactor: the
+// header plus per-job rows written through SWFWriter must be byte-identical
+// to WriteSWF's output, including the memory header and queue-encoded
+// priority tiers of an enriched trace.
+func TestSWFWriterMatchesWriteSWF(t *testing.T) {
+	tr, err := Enrich(SyntheticSDSCSP2(400, 3),
+		EnrichSpec{MemDist: MemDistProp, PriorityTiers: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole, streamed bytes.Buffer
+	if err := WriteSWF(&whole, tr); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSWFWriter(&streamed, tr.Name, tr.Procs, tr.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if err := sw.WriteJob(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), streamed.Bytes()) {
+		t.Fatalf("streamed SWF output differs from WriteSWF (%d vs %d bytes)",
+			streamed.Len(), whole.Len())
+	}
+}
+
+// TestStatsAccumMatchesComputeStats drives the accumulator and the (slice
+// free, but historically slice-based) ComputeStats over the same enriched
+// trace and requires identical results, including the float bits of every
+// mean — the accumulator sums in the same job order the slices did.
+func TestStatsAccumMatchesComputeStats(t *testing.T) {
+	tr, err := Enrich(SyntheticHPC2N(800, 5),
+		EnrichSpec{MemDist: MemDistUniform, PriorityTiers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ComputeStats(tr)
+	acc := NewStatsAccum(tr.Name, tr.Procs, tr.Mem)
+	for _, j := range tr.Jobs {
+		acc.Add(j)
+	}
+	got := acc.Stats()
+	if got.String() != want.String() {
+		t.Fatalf("accumulated stats render differently:\n got %s\nwant %s", got.String(), want.String())
+	}
+	if got.MeanInterarrival != want.MeanInterarrival || got.MeanRequest != want.MeanRequest ||
+		got.MeanRuntime != want.MeanRuntime || got.MeanProcs != want.MeanProcs ||
+		got.MeanOverestimate != want.MeanOverestimate || got.MeanMem != want.MeanMem ||
+		got.Span != want.Span || got.Jobs != want.Jobs ||
+		got.MaxJobProcs != want.MaxJobProcs || got.MaxJobMem != want.MaxJobMem ||
+		got.JobsWithMem != want.JobsWithMem || got.PriorityMax != want.PriorityMax {
+		t.Fatalf("accumulated stats differ:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.PriorityDist) != len(want.PriorityDist) {
+		t.Fatalf("priority dist sizes differ: %v vs %v", got.PriorityDist, want.PriorityDist)
+	}
+	for tier, n := range want.PriorityDist {
+		if got.PriorityDist[tier] != n {
+			t.Fatalf("tier %d count %d, want %d", tier, got.PriorityDist[tier], n)
+		}
+	}
+}

@@ -214,46 +214,75 @@ func LoadSWFFile(path string) (*Trace, error) {
 	return ParseSWF(f, name)
 }
 
-// WriteSWF writes the trace in Standard Workload Format, including MaxProcs
-// and (when the memory dimension is active) MaxMemory headers, so that
-// generated workloads can be consumed by other SWF tools. Wait time and CPU
-// time are written as -1 (unknown); requested memory is written per
-// processor (SWF convention), and priority tiers ride the queue column when
-// the job has no queue of its own, matching how ParseSWF recovers them.
-func WriteSWF(w io.Writer, t *Trace) error {
+// SWFWriter streams jobs to a Standard Workload Format stream one row at a
+// time, so million-job archives can be written as they are generated without
+// ever materializing a job slice (the RSS stays flat regardless of trace
+// length). NewSWFWriter emits the header; WriteJob appends one record; Flush
+// drains the buffer. WriteSWF is the materialized convenience built on top,
+// so the two paths produce byte-identical output.
+type SWFWriter struct {
+	bw *bufio.Writer
+}
+
+// NewSWFWriter writes the SWF header — Trace name, MaxProcs, and (when mem,
+// the total machine memory in KB, is positive) MaxMemory in the per-processor
+// convention ParseSWF expects — and returns a writer ready for job rows.
+func NewSWFWriter(w io.Writer, name string, procs, mem int) (*SWFWriter, error) {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "; Trace: %s\n; MaxProcs: %d\n", t.Name, t.Procs); err != nil {
-		return err
+	if _, err := fmt.Fprintf(bw, "; Trace: %s\n; MaxProcs: %d\n", name, procs); err != nil {
+		return nil, err
 	}
-	if t.Mem > 0 && t.Procs > 0 {
-		if _, err := fmt.Fprintf(bw, "; MaxMemory: %d\n", (t.Mem+t.Procs-1)/t.Procs); err != nil {
-			return err
+	if mem > 0 && procs > 0 {
+		if _, err := fmt.Fprintf(bw, "; MaxMemory: %d\n", (mem+procs-1)/procs); err != nil {
+			return nil, err
 		}
 	}
 	if _, err := fmt.Fprintf(bw, "; Generated by the rlbackfill reproduction\n"); err != nil {
+		return nil, err
+	}
+	return &SWFWriter{bw: bw}, nil
+}
+
+// WriteJob appends one SWF record. Wait time and CPU time are written as -1
+// (unknown); requested memory is written per processor (SWF convention), and
+// priority tiers ride the queue column when the job has no queue of its own,
+// matching how ParseSWF recovers them.
+func (sw *SWFWriter) WriteJob(j *Job) error {
+	status := j.Status
+	if status == 0 {
+		status = 1
+	}
+	memPerProc := int64(-1)
+	if j.Mem > 0 && j.Procs > 0 {
+		memPerProc = int64((j.Mem + j.Procs - 1) / j.Procs)
+	}
+	queue := j.Queue
+	if queue == 0 && j.Priority > 0 {
+		queue = j.Priority
+	}
+	_, err := fmt.Fprintf(sw.bw, "%d %d -1 %d %d -1 -1 %d %d %d %d %d %d %d %d %d -1 -1\n",
+		j.ID, j.Submit, j.Runtime, j.Procs, j.Procs, j.Request, memPerProc, status,
+		j.User, j.Group, j.Executable, queue, j.Partition)
+	return err
+}
+
+// Flush drains the write buffer; call once after the last WriteJob.
+func (sw *SWFWriter) Flush() error { return sw.bw.Flush() }
+
+// WriteSWF writes the trace in Standard Workload Format, including MaxProcs
+// and (when the memory dimension is active) MaxMemory headers, so that
+// generated workloads can be consumed by other SWF tools.
+func WriteSWF(w io.Writer, t *Trace) error {
+	sw, err := NewSWFWriter(w, t.Name, t.Procs, t.Mem)
+	if err != nil {
 		return err
 	}
 	for _, j := range t.Jobs {
-		status := j.Status
-		if status == 0 {
-			status = 1
-		}
-		memPerProc := int64(-1)
-		if j.Mem > 0 && j.Procs > 0 {
-			memPerProc = int64((j.Mem + j.Procs - 1) / j.Procs)
-		}
-		queue := j.Queue
-		if queue == 0 && j.Priority > 0 {
-			queue = j.Priority
-		}
-		_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d %d %d %d %d %d %d %d -1 -1\n",
-			j.ID, j.Submit, j.Runtime, j.Procs, j.Procs, j.Request, memPerProc, status,
-			j.User, j.Group, j.Executable, queue, j.Partition)
-		if err != nil {
+		if err := sw.WriteJob(j); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return sw.Flush()
 }
 
 // SaveSWFFile writes the trace to path in SWF format.

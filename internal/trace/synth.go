@@ -102,10 +102,27 @@ func HPC2NSpec() SynthSpec {
 // Generate produces n jobs according to the spec, deterministically for a
 // given seed.
 func (s SynthSpec) Generate(n int, seed uint64) *Trace {
-	rng := stats.NewRNG(seed)
 	t := &Trace{Name: s.Name, Procs: s.Procs}
+	if n > 0 {
+		t.Jobs = make([]*Job, 0, n)
+		_ = s.Stream(n, seed, func(j *Job) error {
+			t.Jobs = append(t.Jobs, j)
+			return nil
+		})
+	}
+	return t
+}
+
+// Stream produces the same n jobs Generate does — same RNG consumption
+// order, hence byte-identical jobs — handing each one to yield as it is
+// built instead of materializing a job slice (see lublin.Params.Stream for
+// the rationale: the global rescale passes keep one scalar per job, the job
+// structs themselves never accumulate). Stream stops and returns the first
+// error yield reports.
+func (s SynthSpec) Stream(n int, seed uint64, yield func(*Job) error) error {
+	rng := stats.NewRNG(seed)
 	if n <= 0 {
-		return t
+		return nil
 	}
 
 	procs := make([]int, n)
@@ -192,7 +209,7 @@ func (s SynthSpec) Generate(n int, seed uint64) *Trace {
 				run = req
 			}
 		}
-		t.Jobs = append(t.Jobs, &Job{
+		j := &Job{
 			ID:      i + 1,
 			Submit:  int64(submit),
 			Runtime: run,
@@ -200,9 +217,12 @@ func (s SynthSpec) Generate(n int, seed uint64) *Trace {
 			Procs:   procs[i],
 			User:    1 + rng.Intn(maxInt(s.Users, 1)),
 			Status:  1,
-		})
+		}
+		if err := yield(j); err != nil {
+			return err
+		}
 	}
-	return t
+	return nil
 }
 
 func (s SynthSpec) sampleProcs(rng *stats.RNG) int {
