@@ -1,0 +1,210 @@
+// Command rlbf-serve runs the scheduling simulator as a long-lived service:
+// an HTTP/JSON daemon accepting live job submissions, cancellations and
+// status queries from concurrent clients, driving a single authoritative
+// engine in real or scaled time and answering "when will my job start?"
+// from the reservation profile (DESIGN.md §12).
+//
+// Usage:
+//
+//	rlbf-serve -addr :8080 -procs 128 -policy FCFS -backfill conservative
+//	rlbf-serve -addr :8080 -procs 128 -scale 3600 -snapshot state.json -snapshot-every 10s
+//	rlbf-serve -resume state.json -addr :8080 -procs 128
+//
+// Load-generation client mode (drives a running daemon):
+//
+//	rlbf-serve -loadgen -addr http://127.0.0.1:8080 -submitters 1000 -duration 20s
+//
+// On SIGTERM or SIGINT the daemon drains: intake closes (submissions get
+// 503), in-flight requests finish, a final state snapshot is written, and
+// the process exits 0 with a "drained clean" log line — the contract the
+// serve-load CI gate asserts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (daemon) or base URL (-loadgen)")
+	name := flag.String("name", "rlbf-serve", "deployment name")
+	procs := flag.Int("procs", 128, "machine size in processors")
+	mem := flag.Int("mem", 0, "machine memory capacity (0 = no memory dimension)")
+	policyArg := flag.String("policy", "FCFS", "base policy: FCFS, SJF, WFP3, F1, F2, F3, F4 or SAF")
+	bfArg := flag.String("backfill", "conservative", "none, easy, easy-sjf or conservative")
+	scale := flag.Float64("scale", 1, "simulated seconds per wall second")
+	priorities := flag.Bool("priorities", false, "schedule with priority-tier ordering")
+	starvationBound := flag.Float64("starvation-bound", 0, "aging bound: a job starves once wait exceeds bound x request (0 = off)")
+	snapshotPath := flag.String("snapshot", "", "write periodic JSON state snapshots to this file")
+	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "snapshot cadence (needs -snapshot)")
+	resume := flag.String("resume", "", "resume from a state snapshot written by -snapshot")
+	maxInflight := flag.Int("max-inflight", 256, "concurrently handled HTTP requests")
+	predictCap := flag.Int("predict-cap", 4096, "max queue depth for predicted-start answers")
+
+	loadgen := flag.Bool("loadgen", false, "run as load-generation client against -addr")
+	submitters := flag.Int("submitters", 100, "loadgen: concurrent submitters")
+	duration := flag.Duration("duration", 10*time.Second, "loadgen: run length")
+	rate := flag.Float64("rate", 0, "loadgen: aggregate jobs/second (0 = unpaced)")
+	statusEvery := flag.Int("status-every", 4, "loadgen: status query per N submissions per worker (0 = off)")
+	cancelEvery := flag.Int("cancel-every", 0, "loadgen: cancel every Nth submission per worker (0 = off)")
+	seed := flag.Uint64("seed", 1, "loadgen: workload seed")
+	report := flag.String("report", "", "loadgen: write the JSON report to this file")
+	minThroughput := flag.Float64("min-throughput", 0, "loadgen: fail unless submitted jobs/sec reaches this")
+	maxP99 := flag.Float64("max-p99-ms", 0, "loadgen: fail if client submit p99 exceeds this many ms")
+	flag.Parse()
+
+	if *loadgen {
+		runLoadgen(loadgenConfig{
+			base: *addr, submitters: *submitters, duration: *duration, rate: *rate,
+			statusEvery: *statusEvery, cancelEvery: *cancelEvery, seed: *seed,
+			report: *report, minThroughput: *minThroughput, maxP99: *maxP99,
+		})
+		return
+	}
+
+	policy, err := sched.ByNameExtended(*policyArg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	scn := sched.Scenario{Priorities: *priorities, StarvationBound: *starvationBound}
+	est := backfill.Estimator(backfill.RequestTime{})
+	var bf backfill.Backfiller
+	switch strings.ToLower(*bfArg) {
+	case "none":
+	case "easy":
+		bf = &backfill.EASY{Est: est, Scn: scn}
+	case "easy-sjf":
+		bf = &backfill.EASY{Est: est, Order: backfill.SJFOrder, Scn: scn}
+	case "conservative":
+		bf = backfill.NewConservative(est)
+	default:
+		fatal("unknown backfill strategy %q", *bfArg)
+	}
+
+	cfg := serve.Config{
+		Name: *name, Procs: *procs, Mem: *mem,
+		Policy: policy, Backfiller: bf, Scenario: scn, Estimator: est,
+		TimeScale: *scale, SnapshotPath: *snapshotPath, SnapshotEvery: *snapshotEvery,
+		PredictCap: *predictCap,
+	}
+	if *snapshotPath == "" {
+		cfg.SnapshotEvery = 0
+	}
+
+	var sched *serve.Scheduler
+	if *resume != "" {
+		st, err := serve.ReadState(*resume)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if sched, err = serve.NewFromState(cfg, st); err != nil {
+			fatal("%v", err)
+		}
+		log.Printf("rlbf-serve: resumed %s at sim clock %d: %d queued, %d running, %d records",
+			st.Name, st.SimClock, len(st.Queued), len(st.Running), len(st.Records))
+	} else {
+		if sched, err = serve.New(cfg); err != nil {
+			fatal("%v", err)
+		}
+	}
+	sched.Start()
+
+	server := serve.NewServer(sched, *maxInflight)
+	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	go func() {
+		log.Printf("rlbf-serve: %s listening on %s (%d procs, policy %s, backfill %s, scale %gx)",
+			*name, *addr, *procs, policy.Name(), bfName(bf), *scale)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("%v", err)
+		}
+	}()
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigC
+	log.Printf("rlbf-serve: %v received, draining", sig)
+
+	// Drain sequence: stop accepting submissions, let in-flight HTTP finish,
+	// then stop the scheduler loop and persist the final state.
+	sched.StartDraining()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("rlbf-serve: http shutdown: %v", err)
+	}
+	server.Close()
+	st, err := sched.Drain()
+	if err != nil {
+		fatal("drain: %v", err)
+	}
+	log.Printf("rlbf-serve: drained clean at sim clock %d: %d jobs recorded, %d queued, %d running",
+		st.SimClock, len(st.Records), len(st.Queued), len(st.Running))
+}
+
+type loadgenConfig struct {
+	base                  string
+	submitters            int
+	duration              time.Duration
+	rate                  float64
+	statusEvery           int
+	cancelEvery           int
+	seed                  uint64
+	report                string
+	minThroughput, maxP99 float64
+}
+
+func runLoadgen(c loadgenConfig) {
+	base := c.base
+	if !strings.HasPrefix(base, "http") {
+		base = "http://" + strings.TrimPrefix(base, ":")
+	}
+	rep, err := serve.RunLoad(serve.LoadConfig{
+		BaseURL: base, Submitters: c.submitters, Duration: c.duration, Rate: c.rate,
+		StatusEvery: c.statusEvery, CancelEvery: c.cancelEvery, Seed: c.seed,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(out))
+	if c.report != "" {
+		if err := os.WriteFile(c.report, append(out, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if rep.Errors > 0 {
+		fatal("loadgen: %d transport errors", rep.Errors)
+	}
+	if c.minThroughput > 0 && rep.Throughput < c.minThroughput {
+		fatal("loadgen: throughput %.1f jobs/s below gate %.1f", rep.Throughput, c.minThroughput)
+	}
+	if c.maxP99 > 0 && rep.SubmitP99Ms > c.maxP99 {
+		fatal("loadgen: submit p99 %.2fms above gate %.2fms", rep.SubmitP99Ms, c.maxP99)
+	}
+}
+
+func bfName(bf backfill.Backfiller) string {
+	if bf == nil {
+		return "none"
+	}
+	return bf.Name()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rlbf-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

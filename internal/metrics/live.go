@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Live-service instrumentation for the serve daemon: lock-free counters,
+// gauges and fixed-bucket histograms collected in a Registry and exported in
+// the Prometheus text exposition format at /metrics. Everything here is
+// deliberately dependency-free and cheap enough to sit on the submit path —
+// an Observe is a handful of atomic adds.
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (n must be >= 0 to keep it monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v.Load())
+}
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram with atomic buckets. The
+// bounds are upper bucket limits in ascending order; observations beyond the
+// last bound land in an implicit overflow (+Inf) bucket. Quantiles are
+// estimated by linear interpolation within the winning bucket, which is the
+// standard Prometheus-side estimate — exact enough for the p50/p99
+// decision-latency gates, and trend-stable because the bounds never move.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	buckets    []atomic.Int64 // len(bounds)+1, last is overflow
+	count      atomic.Int64
+	sumBits    atomic.Uint64 // float64 bits of the running sum
+	maxBits    atomic.Uint64 // float64 bits of the running max
+}
+
+// DefLatencyBuckets spans 100 microseconds to 10 seconds, the range a
+// scheduling decision under load can realistically land in.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Max returns the largest observation seen.
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating linearly within the winning bucket. Observations in the
+// overflow bucket report the observed maximum. Returns 0 with no data.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	lower := 0.0
+	for i, bound := range h.bounds {
+		c := h.buckets[i].Load()
+		cum += c
+		if float64(cum) >= rank {
+			frac := (rank - float64(cum-c)) / float64(c)
+			est := lower + (bound-lower)*frac
+			// Interpolation can overshoot the observed maximum when the
+			// winning bucket is sparsely filled; the max is a hard bound.
+			if max := h.Max(); max > 0 && est > max {
+				est = max
+			}
+			return est
+		}
+		lower = bound
+	}
+	return h.Max()
+}
+
+func (h *Histogram) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+}
+
+// metric is anything the registry can render.
+type metric interface {
+	write(w io.Writer)
+}
+
+// Registry collects metrics for the /metrics endpoint. Registration takes a
+// lock; the metrics themselves are lock-free afterwards.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.add(c)
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.add(g)
+	return g
+}
+
+// NewHistogram registers and returns a histogram over the given ascending
+// upper bounds (nil means DefLatencyBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	r.add(h)
+	return h
+}
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	r.metrics = append(r.metrics, m)
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		m.write(w)
+	}
+}

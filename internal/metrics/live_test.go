@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("rlbf_test_total", "a counter")
+	g := r.NewGauge("rlbf_test_depth", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(17)
+	if c.Value() != 5 || g.Value() != 17 {
+		t.Fatalf("counter=%d gauge=%d, want 5/17", c.Value(), g.Value())
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE rlbf_test_total counter", "rlbf_test_total 5",
+		"# TYPE rlbf_test_depth gauge", "rlbf_test_depth 17",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("rlbf_test_latency_seconds", "latency", []float64{0.001, 0.01, 0.1, 1})
+	// 90 fast observations and 10 slow ones: p50 in the first bucket, p99 in
+	// the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-(90*0.0005+10*0.05)) > 1e-9 {
+		t.Fatalf("sum = %v", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0 || p50 > 0.001 {
+		t.Fatalf("p50 = %v, want within first bucket (0, 0.001]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 0.01 || p99 > 0.1 {
+		t.Fatalf("p99 = %v, want within (0.01, 0.1]", p99)
+	}
+	if h.Max() != 0.05 {
+		t.Fatalf("max = %v, want 0.05", h.Max())
+	}
+}
+
+func TestHistogramOverflowAndEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("rlbf_test_over", "overflow", []float64{0.001})
+	if h.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram quantile should be 0")
+	}
+	h.Observe(5)
+	if got := h.Quantile(0.99); got != 5 {
+		t.Fatalf("overflow quantile = %v, want max 5", got)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `rlbf_test_over_bucket{le="+Inf"} 1`) {
+		t.Fatalf("missing +Inf bucket:\n%s", sb.String())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("rlbf_test_conc", "concurrent", nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time so tests can drive the daemon deterministically.
+// The scheduler maps wall time to simulation time through its TimeScale
+// (simulated seconds per wall second); only Now participates in that
+// mapping. After is used for the engine's next-event timer and the snapshot
+// cadence — a clock may return a nil channel to disable timers entirely, in
+// which case the scheduler advances only when commands arrive (the manual
+// test clock does exactly that).
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is the production clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// ManualClock is a test clock advanced explicitly. After returns nil (a
+// never-firing channel), so a scheduler on a manual clock is driven purely
+// by commands: tests Advance the clock and then issue a Sync (or any other
+// command) to make the engine catch up — which makes every schedule
+// reproducible bit-for-bit, the property the crash-recovery and
+// predicted-start tests pin.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock starts a manual clock at the given instant.
+func NewManualClock(at time.Time) *ManualClock { return &ManualClock{t: at} }
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// After implements Clock: manual clocks have no timers.
+func (c *ManualClock) After(time.Duration) <-chan time.Time { return nil }
+
+// Advance moves the clock forward.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// LoadConfig drives a load-generation run against a live daemon.
+type LoadConfig struct {
+	// BaseURL is the daemon address, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Submitters is the number of concurrent client goroutines.
+	Submitters int
+	// Duration bounds the wall-clock run.
+	Duration time.Duration
+	// Rate is the target aggregate submission rate in jobs/second; 0 means
+	// unpaced (each submitter loops as fast as the daemon replies).
+	Rate float64
+	// MaxProcs caps the processor width of generated jobs (default 8).
+	MaxProcs int
+	// MaxRuntime caps generated runtimes in simulated seconds (default 3600).
+	MaxRuntime int64
+	// StatusEvery issues a status query after every Nth submission per
+	// worker (0 disables status traffic).
+	StatusEvery int
+	// CancelEvery cancels every Nth submitted job per worker (0 disables
+	// cancellation traffic).
+	CancelEvery int
+	// Seed makes the generated workload reproducible.
+	Seed uint64
+}
+
+// LoadReport summarizes a load run from the client's side.
+type LoadReport struct {
+	Submitters    int     `json:"submitters"`
+	DurationSec   float64 `json:"duration_sec"`
+	Submitted     int64   `json:"submitted"`
+	Rejected      int64   `json:"rejected"`
+	Errors        int64   `json:"errors"`
+	StatusQueries int64   `json:"status_queries"`
+	Cancels       int64   `json:"cancels"`
+	Throughput    float64 `json:"throughput_jobs_per_sec"`
+	SubmitP50Ms   float64 `json:"submit_p50_ms"`
+	SubmitP90Ms   float64 `json:"submit_p90_ms"`
+	SubmitP99Ms   float64 `json:"submit_p99_ms"`
+	SubmitMaxMs   float64 `json:"submit_max_ms"`
+	Server        *Stats  `json:"server,omitempty"`
+}
+
+// RunLoad floods the daemon at BaseURL with concurrent submitters and
+// reports client-observed latency quantiles plus the server's own
+// accounting. This is the harness behind the serve-load CI gate: thousands
+// of goroutines sharing one pooled HTTP client, each submitting a random but
+// seed-reproducible job stream, optionally mixing in status and cancel
+// traffic to exercise every command path under contention.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Submitters < 1 {
+		cfg.Submitters = 1
+	}
+	if cfg.MaxProcs < 1 {
+		cfg.MaxProcs = 8
+	}
+	if cfg.MaxRuntime < 1 {
+		cfg.MaxRuntime = 3600
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Submitters,
+			MaxIdleConnsPerHost: cfg.Submitters,
+		},
+	}
+	// Client-side latency histogram: reuse the daemon's lock-free histogram
+	// so thousands of submitters record without a contended mutex.
+	hist := metrics.NewRegistry().NewHistogram("loadgen_submit_seconds", "client submit latency", nil)
+	var submitted, rejected, errCount, statusQ, cancels atomic.Int64
+
+	var pace time.Duration
+	if cfg.Rate > 0 {
+		pace = time.Duration(float64(cfg.Submitters) / cfg.Rate * float64(time.Second))
+	}
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(cfg.Seed + uint64(w)*0x9e3779b97f4a7c15)
+			if pace > 0 {
+				// Stagger worker phases so paced submitters do not arrive in
+				// lockstep bursts.
+				time.Sleep(time.Duration(rng.Uint64() % uint64(pace)))
+			}
+			n := 0
+			for time.Now().Before(deadline) {
+				req := JobRequest{
+					Procs:   1 + int(rng.Uint64()%uint64(cfg.MaxProcs)),
+					Runtime: 1 + int64(rng.Uint64()%uint64(cfg.MaxRuntime)),
+				}
+				req.Request = req.Runtime + int64(rng.Uint64()%600)
+				t0 := time.Now()
+				res, code, err := postJob(client, cfg.BaseURL, req)
+				hist.Observe(time.Since(t0).Seconds())
+				switch {
+				case err != nil:
+					errCount.Add(1)
+				case code == http.StatusAccepted:
+					submitted.Add(1)
+				default:
+					rejected.Add(1)
+				}
+				n++
+				if err == nil && res != nil {
+					if cfg.StatusEvery > 0 && n%cfg.StatusEvery == 0 {
+						if getStatus(client, cfg.BaseURL, res.ID) == nil {
+							statusQ.Add(1)
+						}
+					}
+					if cfg.CancelEvery > 0 && n%cfg.CancelEvery == 0 {
+						if cancelJob(client, cfg.BaseURL, res.ID) == nil {
+							cancels.Add(1)
+						}
+					}
+				}
+				if pace > 0 {
+					time.Sleep(pace)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &LoadReport{
+		Submitters:    cfg.Submitters,
+		DurationSec:   cfg.Duration.Seconds(),
+		Submitted:     submitted.Load(),
+		Rejected:      rejected.Load(),
+		Errors:        errCount.Load(),
+		StatusQueries: statusQ.Load(),
+		Cancels:       cancels.Load(),
+		Throughput:    float64(submitted.Load()) / cfg.Duration.Seconds(),
+		SubmitP50Ms:   hist.Quantile(0.5) * 1000,
+		SubmitP90Ms:   hist.Quantile(0.9) * 1000,
+		SubmitP99Ms:   hist.Quantile(0.99) * 1000,
+		SubmitMaxMs:   hist.Max() * 1000,
+	}
+	if st, err := getStatz(client, cfg.BaseURL); err == nil {
+		rep.Server = st
+	}
+	return rep, nil
+}
+
+func postJob(c *http.Client, base string, req JobRequest) (*SubmitResult, int, error) {
+	body, _ := json.Marshal(req)
+	resp, err := c.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, resp.StatusCode, nil
+	}
+	var res SubmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return &res, resp.StatusCode, nil
+}
+
+func getStatus(c *http.Client, base string, id int) error {
+	resp, err := c.Get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
+	if err != nil {
+		return err
+	}
+	drainClose(resp)
+	return nil
+}
+
+func cancelJob(c *http.Client, base string, id int) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", base, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	drainClose(resp)
+	return nil
+}
+
+func getStatz(c *http.Client, base string) (*Stats, error) {
+	resp, err := c.Get(base + "/statz")
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

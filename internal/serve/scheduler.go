@@ -1,0 +1,666 @@
+// Package serve turns the batch scheduling simulator into a long-lived
+// scheduler service: a single authoritative sim.Engine driven in real or
+// scaled time by streaming job submissions, cancellations and status queries
+// from many concurrent clients (DESIGN.md §12).
+//
+// The concurrency model is single-writer: every engine mutation happens on
+// one goroutine (run), which consumes commands from an unbuffered channel.
+// HTTP handlers — bounded by the shared internal/pool semaphore — only ever
+// send commands and wait for replies, so the scheduling kernel needs no
+// locks and stays exactly the deterministic batch kernel. The clock adapter
+// maps wall time to simulation seconds (simNow = simEpoch + elapsed *
+// TimeScale); between commands the goroutine sleeps until the next pending
+// engine event's wall deadline. Periodic snapshots give crash recovery:
+// CaptureState marshals the engine snapshot plus the daemon bookkeeping, and
+// NewFromState resumes a byte-identical schedule.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backfill"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config assembles a scheduler daemon.
+type Config struct {
+	// Name labels the deployment (snapshot files, logs).
+	Name string
+	// Procs and Mem size the machine (Mem 0 disables the memory dimension).
+	Procs, Mem int
+	// Policy is the base scheduling policy; required.
+	Policy sched.Policy
+	// Backfiller runs when the head job cannot start; nil disables
+	// backfilling.
+	Backfiller backfill.Backfiller
+	// Scenario layers priority tiers / starvation bounds onto the policy.
+	Scenario sched.Scenario
+	// Estimator predicts runtimes for reservations and predicted-start
+	// answers; nil defaults to RequestTime (plain EASY semantics).
+	Estimator backfill.Estimator
+	// TimeScale is simulated seconds per wall-clock second; 0 defaults to 1
+	// (real time). 3600 runs an hour of cluster time per second.
+	TimeScale float64
+	// Clock abstracts wall time; nil defaults to RealClock.
+	Clock Clock
+	// SnapshotPath, when non-empty, receives periodic JSON state snapshots
+	// (atomic tmp+rename) and the final drain snapshot.
+	SnapshotPath string
+	// SnapshotEvery is the wall-clock snapshot cadence; 0 disables periodic
+	// snapshots (the drain snapshot still happens).
+	SnapshotEvery time.Duration
+	// PredictCap bounds the queue depth up to which predicted starts are
+	// computed: projecting is O(queue) profile placements, so a deep backlog
+	// would turn every status query into a full plan. 0 defaults to 4096;
+	// beyond the cap /status reports the job queued without a prediction.
+	PredictCap int
+	// Registry receives the daemon's metrics; nil creates a private one.
+	Registry *metrics.Registry
+}
+
+// Errors the command API returns.
+var (
+	// ErrDraining rejects submissions once drain has begun.
+	ErrDraining = errors.New("serve: draining, not accepting submissions")
+	// ErrStopped rejects every command after the scheduler loop has exited.
+	ErrStopped = errors.New("serve: scheduler stopped")
+)
+
+// JobRequest is a client submission.
+type JobRequest struct {
+	Procs    int   `json:"procs"`
+	Mem      int   `json:"mem,omitempty"`
+	Runtime  int64 `json:"runtime"`
+	Request  int64 `json:"request,omitempty"`
+	Priority int   `json:"priority,omitempty"`
+}
+
+// SubmitResult acknowledges a submission.
+type SubmitResult struct {
+	ID             int   `json:"id"`
+	Submit         int64 `json:"submit"`
+	Started        bool  `json:"started"`
+	PredictedStart int64 `json:"predicted_start"` // -1 when unavailable
+}
+
+// JobStatus answers "when will my job start?".
+type JobStatus struct {
+	ID             int    `json:"id"`
+	State          string `json:"state"` // queued, running, finished, canceled, unknown
+	Submit         int64  `json:"submit,omitempty"`
+	PredictedStart int64  `json:"predicted_start,omitempty"` // -1 when unavailable
+	Start          int64  `json:"start,omitempty"`
+	End            int64  `json:"end,omitempty"`
+	Wait           int64  `json:"wait,omitempty"`
+}
+
+// Stats is the daemon's live accounting (the /statz endpoint).
+type Stats struct {
+	Name            string  `json:"name"`
+	SimClock        int64   `json:"sim_clock"`
+	TimeScale       float64 `json:"time_scale"`
+	Procs           int     `json:"procs"`
+	FreeProcs       int     `json:"free_procs"`
+	QueueDepth      int     `json:"queue_depth"`
+	PendingArrivals int     `json:"pending_arrivals"`
+	Running         int     `json:"running"`
+	Accepted        int64   `json:"accepted"`
+	Canceled        int64   `json:"canceled"`
+	Started         int64   `json:"started"`
+	Finished        int64   `json:"finished"`
+	Decisions       int64   `json:"decisions"`
+	DecisionP50Ms   float64 `json:"decision_p50_ms"`
+	DecisionP99Ms   float64 `json:"decision_p99_ms"`
+	DecisionMaxMs   float64 `json:"decision_max_ms"`
+	SubmitP50Ms     float64 `json:"submit_p50_ms"`
+	SubmitP99Ms     float64 `json:"submit_p99_ms"`
+	SubmitMaxMs     float64 `json:"submit_max_ms"`
+	Draining        bool    `json:"draining"`
+}
+
+type cmdKind int
+
+const (
+	cmdSubmit cmdKind = iota
+	cmdCancel
+	cmdStatus
+	cmdStats
+	cmdSync
+	cmdSnapshot
+	cmdDrain
+)
+
+type command struct {
+	kind  cmdKind
+	req   JobRequest
+	id    int
+	reply chan reply
+}
+
+type reply struct {
+	sub    SubmitResult
+	status JobStatus
+	ok     bool
+	stats  Stats
+	state  *State
+	err    error
+}
+
+// Scheduler owns the live engine. Construct with New or NewFromState, call
+// Start, and issue commands through the exported methods; every method is
+// safe for concurrent use (they serialize on the command channel).
+type Scheduler struct {
+	cfg   Config
+	clock Clock
+	scale float64
+	est   backfill.Estimator
+
+	wallEpoch time.Time
+	simEpoch  int64
+
+	cmds     chan command
+	done     chan struct{}
+	draining atomic.Bool
+
+	// Everything below is owned by the run goroutine.
+	eng       *sim.Engine
+	pred      backfill.Predictor
+	qbuf      []*trace.Job
+	planBuf   []backfill.PlannedStart
+	predCache map[int]int64
+	predStamp int64 // decisions count the cache was built at
+	predClock int64 // sim clock the cache was built at
+
+	nextID      int
+	submitted   map[int]*trace.Job
+	canceledIDs map[int]bool
+	started     map[int]metrics.Record
+	recSeen     int
+	prior       []metrics.Record // records carried over from a resumed state
+
+	reg        *metrics.Registry
+	mSubmits   *metrics.Counter
+	mCancels   *metrics.Counter
+	mStatus    *metrics.Counter
+	mDecisions *metrics.Counter
+	mStarted   *metrics.Counter
+	mQueue     *metrics.Gauge
+	mFree      *metrics.Gauge
+	mRunning   *metrics.Gauge
+	hDecision  *metrics.Histogram
+	hSubmit    *metrics.Histogram
+}
+
+// New prepares a scheduler over an empty cluster. Call Start to begin
+// serving.
+func New(cfg Config) (*Scheduler, error) {
+	s, err := newScheduler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.NewLiveEngine(cfg.Name, cfg.Procs, cfg.Mem, s.simConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	s.nextID = 1
+	return s, nil
+}
+
+// NewFromState resumes a scheduler from a saved snapshot: the engine is
+// rebuilt via sim.NewEngineFromSnapshot, prior records are retained for
+// status answers, and the clock adapter re-anchors so simulation time
+// continues from the snapshot clock.
+func NewFromState(cfg Config, st *State) (*Scheduler, error) {
+	if st.Procs != cfg.Procs || st.Mem != cfg.Mem {
+		return nil, fmt.Errorf("serve: state machine %d procs/%d mem does not match config %d/%d",
+			st.Procs, st.Mem, cfg.Procs, cfg.Mem)
+	}
+	s, err := newScheduler(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rest := &trace.Trace{Name: cfg.Name, Procs: cfg.Procs, Mem: cfg.Mem, Jobs: st.Pending}
+	snap := sim.Snapshot{Clock: st.SimClock, Queued: st.Queued, Running: st.Running}
+	eng, err := sim.NewEngineFromSnapshot(rest, s.simConfig(), snap)
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	s.simEpoch = st.SimClock
+	s.nextID = st.NextID
+	s.prior = st.Records
+	for _, r := range st.Records {
+		s.started[r.Job.ID] = r
+		s.submitted[r.Job.ID] = r.Job
+	}
+	for _, j := range st.Queued {
+		s.submitted[j.ID] = j
+	}
+	for _, j := range st.Pending {
+		s.submitted[j.ID] = j
+	}
+	for _, id := range st.Canceled {
+		s.canceledIDs[id] = true
+	}
+	s.mStarted.Add(int64(len(st.Records)))
+	return s, nil
+}
+
+func newScheduler(cfg Config) (*Scheduler, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("serve: config needs a base scheduling policy")
+	}
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("serve: non-positive machine size %d", cfg.Procs)
+	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("serve: negative time scale %g", cfg.TimeScale)
+	}
+	s := &Scheduler{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		scale:       cfg.TimeScale,
+		est:         cfg.Estimator,
+		cmds:        make(chan command),
+		done:        make(chan struct{}),
+		submitted:   make(map[int]*trace.Job),
+		canceledIDs: make(map[int]bool),
+		started:     make(map[int]metrics.Record),
+		predCache:   make(map[int]int64),
+		predStamp:   -1,
+		reg:         cfg.Registry,
+	}
+	if s.clock == nil {
+		s.clock = RealClock{}
+	}
+	if s.scale == 0 {
+		s.scale = 1
+	}
+	if s.est == nil {
+		s.est = backfill.RequestTime{}
+	}
+	if s.cfg.PredictCap == 0 {
+		s.cfg.PredictCap = 4096
+	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	s.wallEpoch = s.clock.Now()
+	s.mSubmits = s.reg.NewCounter("rlbf_submissions_total", "Accepted job submissions.")
+	s.mCancels = s.reg.NewCounter("rlbf_cancellations_total", "Successful job cancellations.")
+	s.mStatus = s.reg.NewCounter("rlbf_status_queries_total", "Status queries served.")
+	s.mDecisions = s.reg.NewCounter("rlbf_decisions_total", "Scheduling rounds (engine event batches).")
+	s.mStarted = s.reg.NewCounter("rlbf_jobs_started_total", "Jobs dispatched to the cluster.")
+	s.mQueue = s.reg.NewGauge("rlbf_queue_depth", "Waiting jobs.")
+	s.mFree = s.reg.NewGauge("rlbf_free_procs", "Idle processors.")
+	s.mRunning = s.reg.NewGauge("rlbf_running_jobs", "Executing jobs.")
+	s.hDecision = s.reg.NewHistogram("rlbf_decision_latency_seconds",
+		"Wall time of one scheduling round (engine event batch).", nil)
+	s.hSubmit = s.reg.NewHistogram("rlbf_submit_latency_seconds",
+		"Wall time to admit a submission and run its scheduling round.", nil)
+	return s, nil
+}
+
+func (s *Scheduler) simConfig() sim.Config {
+	return sim.Config{Policy: s.cfg.Policy, Backfiller: s.cfg.Backfiller, Scenario: s.cfg.Scenario}
+}
+
+// Registry returns the metrics registry the daemon reports into.
+func (s *Scheduler) Registry() *metrics.Registry { return s.reg }
+
+// Start launches the engine goroutine.
+func (s *Scheduler) Start() { go s.run() }
+
+// StartDraining flips the daemon into drain mode: subsequent submissions are
+// rejected with ErrDraining while cancellations and status queries keep
+// working. Call Drain to stop the loop and collect the final state.
+func (s *Scheduler) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether drain mode is active.
+func (s *Scheduler) Draining() bool { return s.draining.Load() }
+
+// Submit admits one job at the current simulation time and runs its
+// scheduling round. The reply carries the assigned ID and, when the queue is
+// shallow enough (PredictCap), the job's projected start time.
+func (s *Scheduler) Submit(req JobRequest) (SubmitResult, error) {
+	r, err := s.do(command{kind: cmdSubmit, req: req})
+	return r.sub, err
+}
+
+// CancelJob removes a waiting job. It reports false for jobs already
+// started, finished or never seen.
+func (s *Scheduler) CancelJob(id int) (bool, error) {
+	r, err := s.do(command{kind: cmdCancel, id: id})
+	return r.ok, err
+}
+
+// Status reports a job's state and projected start.
+func (s *Scheduler) Status(id int) (JobStatus, error) {
+	r, err := s.do(command{kind: cmdStatus, id: id})
+	return r.status, err
+}
+
+// Stats returns the live accounting snapshot.
+func (s *Scheduler) Stats() (Stats, error) {
+	r, err := s.do(command{kind: cmdStats})
+	return r.stats, err
+}
+
+// Sync advances the engine to the current simulation time and returns once
+// every due event has been processed — the deterministic heartbeat manual
+// clocks rely on.
+func (s *Scheduler) Sync() error {
+	_, err := s.do(command{kind: cmdSync})
+	return err
+}
+
+// CaptureState advances to now and returns a consistent state snapshot
+// (also written to SnapshotPath when configured).
+func (s *Scheduler) CaptureState() (*State, error) {
+	r, err := s.do(command{kind: cmdSnapshot})
+	return r.state, err
+}
+
+// Drain stops the scheduler loop: intake is closed, a final state snapshot
+// is captured (and written to SnapshotPath when configured), and every
+// subsequent command fails with ErrStopped. The returned state holds the
+// complete record history for reporting.
+func (s *Scheduler) Drain() (*State, error) {
+	r, err := s.do(command{kind: cmdDrain})
+	return r.state, err
+}
+
+// do sends one command to the engine goroutine and waits for its reply.
+func (s *Scheduler) do(c command) (reply, error) {
+	c.reply = make(chan reply, 1)
+	select {
+	case s.cmds <- c:
+	case <-s.done:
+		return reply{}, ErrStopped
+	}
+	r := <-c.reply
+	return r, r.err
+}
+
+// run is the single-writer engine loop.
+func (s *Scheduler) run() {
+	defer close(s.done)
+	var snapC <-chan time.Time
+	if s.cfg.SnapshotEvery > 0 && s.cfg.SnapshotPath != "" {
+		snapC = s.clock.After(s.cfg.SnapshotEvery)
+	}
+	for {
+		var timerC <-chan time.Time
+		if t, ok := s.eng.NextEventTime(); ok {
+			if d := s.wallUntil(t); d <= 0 {
+				s.advanceTo(s.simNow())
+				continue
+			} else {
+				timerC = s.clock.After(d)
+			}
+		}
+		select {
+		case c := <-s.cmds:
+			if s.handle(c) {
+				return
+			}
+		case <-timerC:
+			s.advanceTo(s.simNow())
+		case <-snapC:
+			s.advanceTo(s.simNow())
+			if st, err := s.captureState(); err == nil {
+				_ = WriteState(s.cfg.SnapshotPath, st)
+			}
+			snapC = s.clock.After(s.cfg.SnapshotEvery)
+		}
+	}
+}
+
+// simNow maps the wall clock to simulation seconds. The engine clock is a
+// floor: simulation time never runs backwards even if the wall clock does.
+func (s *Scheduler) simNow() int64 {
+	elapsed := s.clock.Now().Sub(s.wallEpoch)
+	now := s.simEpoch + int64(elapsed.Seconds()*s.scale)
+	if ec := s.eng.Now(); now < ec {
+		now = ec
+	}
+	return now
+}
+
+// wallUntil returns the wall-clock delay until simulation instant t.
+func (s *Scheduler) wallUntil(t int64) time.Duration {
+	deadline := s.wallEpoch.Add(time.Duration(float64(t-s.simEpoch) / s.scale * float64(time.Second)))
+	return deadline.Sub(s.clock.Now())
+}
+
+// advanceTo processes every engine event due at or before simulation instant
+// `now`, timing each event batch as one scheduling decision.
+func (s *Scheduler) advanceTo(now int64) {
+	for {
+		t, ok := s.eng.NextEventTime()
+		if !ok || t > now {
+			break
+		}
+		t0 := time.Now()
+		s.eng.Step()
+		s.hDecision.Observe(time.Since(t0).Seconds())
+		s.mDecisions.Inc()
+	}
+	s.syncRecords()
+	s.mQueue.Set(int64(s.eng.QueueLen()))
+	s.mFree.Set(int64(s.eng.FreeProcs()))
+	s.mRunning.Set(int64(s.eng.RunningCount()))
+}
+
+// syncRecords ingests newly appended engine records into the status map.
+func (s *Scheduler) syncRecords() {
+	recs := s.eng.Records()
+	for ; s.recSeen < len(recs); s.recSeen++ {
+		r := recs[s.recSeen]
+		s.started[r.Job.ID] = r
+		s.mStarted.Inc()
+	}
+}
+
+// handle executes one command; it reports true when the loop must exit.
+func (s *Scheduler) handle(c command) bool {
+	switch c.kind {
+	case cmdSubmit:
+		sub, err := s.handleSubmit(c.req)
+		c.reply <- reply{sub: sub, err: err}
+	case cmdCancel:
+		now := s.simNow()
+		s.advanceTo(now)
+		ok := false
+		if !s.canceledIDs[c.id] {
+			if _, startedAlready := s.started[c.id]; !startedAlready {
+				ok = s.eng.Cancel(c.id)
+			}
+		}
+		if ok {
+			s.canceledIDs[c.id] = true
+			s.mCancels.Inc()
+		}
+		c.reply <- reply{ok: ok}
+	case cmdStatus:
+		s.mStatus.Inc()
+		now := s.simNow()
+		s.advanceTo(now)
+		c.reply <- reply{status: s.statusOf(c.id, now)}
+	case cmdStats:
+		s.advanceTo(s.simNow())
+		c.reply <- reply{stats: s.statsLocked()}
+	case cmdSync:
+		s.advanceTo(s.simNow())
+		c.reply <- reply{}
+	case cmdSnapshot:
+		s.advanceTo(s.simNow())
+		st, err := s.captureState()
+		if err == nil && s.cfg.SnapshotPath != "" {
+			err = WriteState(s.cfg.SnapshotPath, st)
+		}
+		c.reply <- reply{state: st, err: err}
+	case cmdDrain:
+		s.draining.Store(true)
+		s.advanceTo(s.simNow())
+		st, err := s.captureState()
+		if err == nil && s.cfg.SnapshotPath != "" {
+			err = WriteState(s.cfg.SnapshotPath, st)
+		}
+		c.reply <- reply{state: st, err: err}
+		return true
+	}
+	return false
+}
+
+// handleSubmit admits one job at the current simulation instant. Events
+// strictly before the submit time are processed first, then the arrival is
+// injected and the engine advances through the submit instant — completions
+// at that exact second are batched with the arrival into one scheduling
+// round, matching the batch replay semantics (see sim.Engine.Step).
+func (s *Scheduler) handleSubmit(req JobRequest) (SubmitResult, error) {
+	if s.draining.Load() {
+		return SubmitResult{}, ErrDraining
+	}
+	t0 := time.Now()
+	now := s.simNow()
+	s.advanceTo(now - 1)
+	j := &trace.Job{
+		ID:       s.nextID,
+		Submit:   now,
+		Runtime:  req.Runtime,
+		Request:  req.Request,
+		Procs:    req.Procs,
+		Mem:      req.Mem,
+		Priority: req.Priority,
+		Status:   1,
+	}
+	if j.Request <= 0 {
+		j.Request = j.Runtime // convenience: perfect user estimate
+	}
+	if err := s.eng.Inject(j); err != nil {
+		return SubmitResult{}, err
+	}
+	s.nextID++
+	s.submitted[j.ID] = j
+	s.advanceTo(now)
+	s.mSubmits.Inc()
+	res := SubmitResult{ID: j.ID, Submit: now, PredictedStart: -1}
+	if rec, ok := s.started[j.ID]; ok {
+		res.Started = true
+		res.PredictedStart = rec.Start
+	} else if p, ok := s.predictedStart(j.ID, now); ok {
+		res.PredictedStart = p
+	}
+	s.hSubmit.Observe(time.Since(t0).Seconds())
+	return res, nil
+}
+
+// statusOf classifies a job after the engine has advanced to `now`.
+func (s *Scheduler) statusOf(id int, now int64) JobStatus {
+	if s.canceledIDs[id] {
+		return JobStatus{ID: id, State: "canceled"}
+	}
+	if rec, ok := s.started[id]; ok {
+		st := JobStatus{ID: id, Submit: rec.Job.Submit, Start: rec.Start, End: rec.End, Wait: rec.Wait()}
+		if rec.End > now {
+			st.State = "running"
+		} else {
+			st.State = "finished"
+		}
+		return st
+	}
+	j, ok := s.submitted[id]
+	if !ok {
+		return JobStatus{ID: id, State: "unknown"}
+	}
+	st := JobStatus{ID: id, State: "queued", Submit: j.Submit, PredictedStart: -1}
+	if p, ok := s.predictedStart(id, now); ok {
+		st.PredictedStart = p
+		st.Wait = p - j.Submit
+	}
+	return st
+}
+
+// predictedStart answers from the reservation profile via the shared
+// planner (backfill.Predictor), caching the full plan per engine state so a
+// burst of status queries costs one projection. Queues beyond PredictCap are
+// not projected (ok=false) — a deep backlog would make every query O(queue).
+func (s *Scheduler) predictedStart(id int, now int64) (int64, bool) {
+	decs := s.mDecisions.Value()
+	if s.predStamp != decs || s.predClock != now {
+		if s.eng.QueueLen() > s.cfg.PredictCap {
+			return 0, false
+		}
+		s.qbuf = s.eng.AppendQueued(s.qbuf[:0])
+		s.planBuf = s.pred.Project(s.eng, s.est, s.qbuf, s.planBuf[:0])
+		clear(s.predCache)
+		for _, p := range s.planBuf {
+			s.predCache[p.Job.ID] = p.Start
+		}
+		s.predStamp = decs
+		s.predClock = now
+	}
+	p, ok := s.predCache[id]
+	return p, ok
+}
+
+// statsLocked assembles the Stats snapshot (run-goroutine only).
+func (s *Scheduler) statsLocked() Stats {
+	started := s.mStarted.Value()
+	return Stats{
+		Name:            s.cfg.Name,
+		SimClock:        s.eng.Now(),
+		TimeScale:       s.scale,
+		Procs:           s.cfg.Procs,
+		FreeProcs:       s.eng.FreeProcs(),
+		QueueDepth:      s.eng.QueueLen(),
+		PendingArrivals: s.eng.PendingArrivals(),
+		Running:         s.eng.RunningCount(),
+		Accepted:        s.mSubmits.Value(),
+		Canceled:        s.mCancels.Value(),
+		Started:         started,
+		Finished:        started - int64(s.eng.RunningCount()),
+		Decisions:       s.mDecisions.Value(),
+		DecisionP50Ms:   s.hDecision.Quantile(0.5) * 1000,
+		DecisionP99Ms:   s.hDecision.Quantile(0.99) * 1000,
+		DecisionMaxMs:   s.hDecision.Max() * 1000,
+		SubmitP50Ms:     s.hSubmit.Quantile(0.5) * 1000,
+		SubmitP99Ms:     s.hSubmit.Quantile(0.99) * 1000,
+		SubmitMaxMs:     s.hSubmit.Max() * 1000,
+		Draining:        s.draining.Load(),
+	}
+}
+
+// captureState snapshots the engine plus daemon bookkeeping into a portable
+// State. Called on the run goroutine after advanceTo, so the snapshot is at
+// a quiescent instant: every event at or before the current simulation time
+// has been fully processed.
+func (s *Scheduler) captureState() (*State, error) {
+	snap := s.eng.Snapshot()
+	st := &State{
+		Version:  stateVersion,
+		Name:     s.cfg.Name,
+		Procs:    s.cfg.Procs,
+		Mem:      s.cfg.Mem,
+		SimClock: snap.Clock,
+		NextID:   s.nextID,
+		Queued:   snap.Queued,
+		Running:  snap.Running,
+		Pending:  s.eng.AppendPending(nil),
+	}
+	st.Records = append(append([]metrics.Record(nil), s.prior...), s.eng.Records()...)
+	for id := range s.canceledIDs {
+		st.Canceled = append(st.Canceled, id)
+	}
+	sort.Ints(st.Canceled)
+	return st, nil
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/pool"
+)
+
+// Server is the HTTP/JSON front end over a Scheduler. Request handling is
+// bounded by an internal/pool semaphore: at most MaxInflight requests hold a
+// slot at once, and the rest queue FIFO inside Acquire — under overload the
+// daemon degrades to bounded queueing instead of unbounded goroutine growth,
+// the same admission-control discipline the replay pipeline uses for shards.
+//
+// Routes:
+//
+//	POST   /v1/jobs        submit a job        (JobRequest -> SubmitResult)
+//	GET    /v1/jobs/{id}   job status          (JobStatus)
+//	DELETE /v1/jobs/{id}   cancel a job        ({"id":N,"canceled":bool})
+//	GET    /statz          daemon accounting   (Stats)
+//	GET    /metrics        Prometheus text exposition
+//	GET    /healthz        liveness ("ok", 503 once draining)
+type Server struct {
+	sched *Scheduler
+	slots *pool.Pool
+}
+
+// NewServer wraps a scheduler. maxInflight bounds concurrently handled
+// requests; values < 1 default to 256.
+func NewServer(s *Scheduler, maxInflight int) *Server {
+	if maxInflight < 1 {
+		maxInflight = 256
+	}
+	return &Server{sched: s, slots: pool.New(maxInflight)}
+}
+
+// Handler returns the daemon's route mux.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", sv.bounded(sv.handleJobs))
+	mux.HandleFunc("/v1/jobs/", sv.bounded(sv.handleJob))
+	mux.HandleFunc("/statz", sv.bounded(sv.handleStatz))
+	mux.HandleFunc("/metrics", sv.handleMetrics)
+	mux.HandleFunc("/healthz", sv.handleHealthz)
+	return mux
+}
+
+// bounded wraps a handler with the admission semaphore.
+func (sv *Server) bounded(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if sv.slots.Acquire(1) == 0 {
+			httpError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		defer sv.slots.Release(1)
+		h(w, r)
+	}
+}
+
+// Close aborts the admission pool, releasing queued requests with a 503.
+func (sv *Server) Close() { sv.slots.Abort() }
+
+func (sv *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	res, err := sv.sched.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrStopped):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, res)
+	}
+}
+
+func (sv *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 1 {
+		httpError(w, http.StatusBadRequest, "bad job id "+idStr)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		st, err := sv.sched.Status(id)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		code := http.StatusOK
+		if st.State == "unknown" {
+			code = http.StatusNotFound
+		}
+		writeJSON(w, code, st)
+	case http.MethodDelete:
+		ok, err := sv.sched.CancelJob(id)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		code := http.StatusOK
+		if !ok {
+			code = http.StatusConflict // already started, finished, or unknown
+		}
+		writeJSON(w, code, map[string]any{"id": id, "canceled": ok})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or DELETE only")
+	}
+}
+
+func (sv *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	st, err := sv.sched.Stats()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	sv.sched.Registry().WritePrometheus(w)
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if sv.sched.Draining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backfill"
+	"repro/internal/sched"
+)
+
+// newTestDaemon spins a real-clock daemon at high time scale behind an
+// httptest server.
+func newTestDaemon(t *testing.T, procs int, scale float64) (*Scheduler, *Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Name: "test", Procs: procs,
+		Policy:     sched.FCFS{},
+		Backfiller: backfill.NewConservative(backfill.RequestTime{}),
+		TimeScale:  scale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	sv := NewServer(s, 64)
+	ts := httptest.NewServer(sv.Handler())
+	t.Cleanup(ts.Close)
+	return s, sv, ts
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestServeConcurrentClients hammers one daemon with concurrent submitters,
+// status pollers and cancelers, then drains and checks the books balance:
+// every accepted job is either recorded (started), still queued or pending,
+// or canceled. This is the primary -race -cpu 1,4 target.
+func TestServeConcurrentClients(t *testing.T) {
+	s, _, ts := newTestDaemon(t, 64, 10000)
+	const workers, perWorker = 16, 25
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, body := post(t, ts.URL+"/v1/jobs", JobRequest{Procs: 1 + (w+i)%8, Runtime: int64(10 + i*7)})
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("submit: status %d: %s", resp.StatusCode, body)
+					return
+				}
+				accepted.Add(1)
+				var res SubmitResult
+				if err := json.Unmarshal(body, &res); err != nil {
+					t.Errorf("submit response: %v", err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", ts.URL, res.ID))
+					if err != nil {
+						t.Errorf("status: %v", err)
+						return
+					}
+					r.Body.Close()
+				case 1:
+					req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, res.ID), nil)
+					r, err := http.DefaultClient.Do(req)
+					if err != nil {
+						t.Errorf("cancel: %v", err)
+						return
+					}
+					r.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(st.Records) + len(st.Queued) + len(st.Pending) + len(st.Canceled))
+	if accepted.Load() != int64(workers*perWorker) || total != accepted.Load() {
+		t.Fatalf("accounting: accepted %d, records %d + queued %d + pending %d + canceled %d = %d",
+			accepted.Load(), len(st.Records), len(st.Queued), len(st.Pending), len(st.Canceled), total)
+	}
+}
+
+// TestServeDrainRejectsNewWork pins the drain contract: once draining,
+// submissions get 503, health goes unhealthy, but status queries still work.
+func TestServeDrainRejectsNewWork(t *testing.T) {
+	s, _, ts := newTestDaemon(t, 8, 1000)
+	resp, body := post(t, ts.URL+"/v1/jobs", JobRequest{Procs: 1, Runtime: 100})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var res SubmitResult
+	json.Unmarshal(body, &res)
+
+	s.StartDraining()
+	resp, _ = post(t, ts.URL+"/v1/jobs", JobRequest{Procs: 1, Runtime: 100})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", r.StatusCode)
+	}
+	r, err = http.Get(fmt.Sprintf("%s/v1/jobs/%d", ts.URL, res.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("status while draining: %d, want 200", r.StatusCode)
+	}
+	if _, err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = post(t, ts.URL+"/v1/jobs", JobRequest{Procs: 1, Runtime: 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeStatusCodes checks the error paths of the HTTP surface.
+func TestServeStatusCodes(t *testing.T) {
+	s, _, ts := newTestDaemon(t, 8, 1000)
+	defer s.Drain()
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = post(t, ts.URL+"/v1/jobs", JobRequest{Procs: 99, Runtime: 10})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("too-wide job: %d, want 400", resp.StatusCode)
+	}
+	r, err := http.Get(ts.URL + "/v1/jobs/424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", r.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/424242", nil)
+	r, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel unknown job: %d, want 409", r.StatusCode)
+	}
+	r, err = http.Get(ts.URL + "/v1/jobs/zero")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id: %d, want 400", r.StatusCode)
+	}
+}
+
+// TestServeMetricsEndpoint pins the Prometheus exposition: after traffic the
+// counters and latency histogram series must be present.
+func TestServeMetricsEndpoint(t *testing.T) {
+	s, _, ts := newTestDaemon(t, 8, 1000)
+	defer s.Drain()
+	for i := 0; i < 5; i++ {
+		resp, body := post(t, ts.URL+"/v1/jobs", JobRequest{Procs: 1, Runtime: 60})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", resp.StatusCode, body)
+		}
+	}
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(r.Body)
+	r.Body.Close()
+	out := buf.String()
+	for _, want := range []string{
+		"rlbf_submissions_total 5",
+		"# TYPE rlbf_decision_latency_seconds histogram",
+		"rlbf_submit_latency_seconds_count 5",
+		`rlbf_decision_latency_seconds_bucket{le="+Inf"}`,
+		"# TYPE rlbf_queue_depth gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeStatz checks the accounting endpoint over HTTP.
+func TestServeStatz(t *testing.T) {
+	s, _, ts := newTestDaemon(t, 8, 1000)
+	defer s.Drain()
+	post(t, ts.URL+"/v1/jobs", JobRequest{Procs: 4, Runtime: 300})
+	r, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted != 1 || st.Procs != 8 || st.Name != "test" {
+		t.Fatalf("statz %+v", st)
+	}
+}
+
+// TestServeLoadgenSmoke runs the load harness end to end against a live
+// daemon: non-zero throughput, zero transport errors, sane latency report.
+func TestServeLoadgenSmoke(t *testing.T) {
+	s, _, ts := newTestDaemon(t, 256, 50000)
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:     ts.URL,
+		Submitters:  32,
+		Duration:    400 * time.Millisecond,
+		StatusEvery: 3,
+		CancelEvery: 7,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("loadgen transport errors: %d", rep.Errors)
+	}
+	if rep.Submitted == 0 || rep.Throughput <= 0 {
+		t.Fatalf("loadgen made no progress: %+v", rep)
+	}
+	if rep.SubmitP99Ms <= 0 || rep.SubmitP99Ms < rep.SubmitP50Ms {
+		t.Fatalf("implausible latency report: %+v", rep)
+	}
+	if rep.Server == nil || rep.Server.Accepted != rep.Submitted {
+		t.Fatalf("server accounting mismatch: client %d, server %+v", rep.Submitted, rep.Server)
+	}
+	st, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(st.Records) + len(st.Queued) + len(st.Pending) + len(st.Canceled)); got != rep.Submitted {
+		t.Fatalf("drained state accounts for %d jobs, client submitted %d", got, rep.Submitted)
+	}
+}

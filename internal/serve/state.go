@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/backfill"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// stateVersion guards the snapshot wire format; bump on incompatible change.
+const stateVersion = 1
+
+// State is the daemon's crash-recovery snapshot: the engine snapshot fields
+// (clock, queue, running set, pending arrivals) plus the serve-layer
+// bookkeeping (ID allocator, cancellation log, full record history). A State
+// plus the stream of future submissions fully determines the rest of the
+// schedule — the same invariant sim.Snapshot provides for batch replays,
+// extended over the live path. It marshals to plain JSON so operators can
+// inspect snapshots with standard tools.
+type State struct {
+	Version  int                `json:"version"`
+	Name     string             `json:"name"`
+	Procs    int                `json:"procs"`
+	Mem      int                `json:"mem,omitempty"`
+	SimClock int64              `json:"sim_clock"`
+	NextID   int                `json:"next_id"`
+	Queued   []*trace.Job       `json:"queued,omitempty"`
+	Running  []backfill.Running `json:"running,omitempty"`
+	Pending  []*trace.Job       `json:"pending,omitempty"`
+	Canceled []int              `json:"canceled,omitempty"`
+	Records  []metrics.Record   `json:"records,omitempty"`
+}
+
+// WriteState atomically persists a state snapshot: marshal to a temporary
+// file in the target directory, fsync, rename. A crash mid-write leaves the
+// previous snapshot intact.
+func WriteState(path string, st *State) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("serve: marshal state: %v", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".rlbf-state-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadState loads and validates a snapshot written by WriteState.
+func ReadState(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("serve: parse state %s: %v", path, err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("serve: state %s has version %d, this build understands %d", path, st.Version, stateVersion)
+	}
+	if st.Procs <= 0 {
+		return nil, fmt.Errorf("serve: state %s has non-positive machine size %d", path, st.Procs)
+	}
+	if st.NextID < 1 {
+		st.NextID = 1
+	}
+	return &st, nil
+}
