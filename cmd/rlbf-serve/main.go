@@ -52,7 +52,11 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "write periodic JSON state snapshots to this file")
 	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "snapshot cadence (needs -snapshot)")
 	resume := flag.String("resume", "", "resume from a state snapshot written by -snapshot")
+	walPath := flag.String("wal", "", "durable write-ahead log path (needs -snapshot); recovers automatically from existing files")
+	walNoSync := flag.Bool("wal-nosync", false, "skip the per-command WAL fsync (faster, may lose acked work on crash)")
+	compactEvery := flag.Int("compact-every", 4096, "rotate snapshot+WAL after this many log records")
 	maxInflight := flag.Int("max-inflight", 256, "concurrently handled HTTP requests")
+	maxQueued := flag.Int("max-queued", 0, "waiting HTTP requests before 429 load shedding (0 = 4x max-inflight)")
 	predictCap := flag.Int("predict-cap", 4096, "max queue depth for predicted-start answers")
 
 	loadgen := flag.Bool("loadgen", false, "run as load-generation client against -addr")
@@ -62,6 +66,7 @@ func main() {
 	statusEvery := flag.Int("status-every", 4, "loadgen: status query per N submissions per worker (0 = off)")
 	cancelEvery := flag.Int("cancel-every", 0, "loadgen: cancel every Nth submission per worker (0 = off)")
 	seed := flag.Uint64("seed", 1, "loadgen: workload seed")
+	retries := flag.Int("retries", 0, "loadgen: retry budget per submission (backoff with jitter)")
 	report := flag.String("report", "", "loadgen: write the JSON report to this file")
 	minThroughput := flag.Float64("min-throughput", 0, "loadgen: fail unless submitted jobs/sec reaches this")
 	maxP99 := flag.Float64("max-p99-ms", 0, "loadgen: fail if client submit p99 exceeds this many ms")
@@ -71,7 +76,7 @@ func main() {
 		runLoadgen(loadgenConfig{
 			base: *addr, submitters: *submitters, duration: *duration, rate: *rate,
 			statusEvery: *statusEvery, cancelEvery: *cancelEvery, seed: *seed,
-			report: *report, minThroughput: *minThroughput, maxP99: *maxP99,
+			retries: *retries, report: *report, minThroughput: *minThroughput, maxP99: *maxP99,
 		})
 		return
 	}
@@ -100,13 +105,30 @@ func main() {
 		Policy: policy, Backfiller: bf, Scenario: scn, Estimator: est,
 		TimeScale: *scale, SnapshotPath: *snapshotPath, SnapshotEvery: *snapshotEvery,
 		PredictCap: *predictCap,
+		WALPath:    *walPath, WALNoSync: *walNoSync, CompactEvery: *compactEvery,
 	}
 	if *snapshotPath == "" {
 		cfg.SnapshotEvery = 0
 	}
+	if *walPath != "" && *snapshotPath == "" {
+		fatal("-wal requires -snapshot (compaction rotates through the snapshot file)")
+	}
 
 	var sched *serve.Scheduler
-	if *resume != "" {
+	switch {
+	case *walPath != "":
+		// Recover handles every on-disk combination: a full triple after a
+		// crash, a partial one after a crash mid-rotation, or nothing at all
+		// (fresh start). New would truncate existing logs, so WAL mode always
+		// goes through Recover.
+		var info *serve.RecoveryInfo
+		if sched, info, err = serve.Recover(cfg); err != nil {
+			fatal("recover: %v", err)
+		}
+		log.Printf("rlbf-serve: recovery verified: gen %d, %d prior records, %d commands replayed, %d records re-derived (%d byte-verified, %d re-appended, %d orphans dropped) in %s",
+			info.WALGen, info.PriorRecords, info.Applied, info.Rederived, info.Verified,
+			info.HistoryAppended, info.HistoryTruncated, info.Elapsed.Round(time.Microsecond))
+	case *resume != "":
 		st, err := serve.ReadState(*resume)
 		if err != nil {
 			fatal("%v", err)
@@ -116,14 +138,14 @@ func main() {
 		}
 		log.Printf("rlbf-serve: resumed %s at sim clock %d: %d queued, %d running, %d records",
 			st.Name, st.SimClock, len(st.Queued), len(st.Running), len(st.Records))
-	} else {
+	default:
 		if sched, err = serve.New(cfg); err != nil {
 			fatal("%v", err)
 		}
 	}
 	sched.Start()
 
-	server := serve.NewServer(sched, *maxInflight)
+	server := serve.NewServer(sched, *maxInflight, *maxQueued)
 	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
 	go func() {
 		log.Printf("rlbf-serve: %s listening on %s (%d procs, policy %s, backfill %s, scale %gx)",
@@ -151,8 +173,12 @@ func main() {
 	if err != nil {
 		fatal("drain: %v", err)
 	}
-	log.Printf("rlbf-serve: drained clean at sim clock %d: %d jobs recorded, %d queued, %d running",
-		st.SimClock, len(st.Records), len(st.Queued), len(st.Running))
+	// `accounted` is the zero-loss invariant the serve-crash CI gate checks:
+	// every job the daemon ever acknowledged is either recorded (dispatched),
+	// still queued or pending, or was explicitly canceled.
+	accounted := len(st.Records) + len(st.Queued) + len(st.Pending) + len(st.Canceled)
+	log.Printf("rlbf-serve: drained clean at sim clock %d: %d jobs recorded, %d queued, %d running, %d accounted",
+		st.SimClock, len(st.Records), len(st.Queued), len(st.Running), accounted)
 }
 
 type loadgenConfig struct {
@@ -163,6 +189,7 @@ type loadgenConfig struct {
 	statusEvery           int
 	cancelEvery           int
 	seed                  uint64
+	retries               int
 	report                string
 	minThroughput, maxP99 float64
 }
@@ -175,6 +202,7 @@ func runLoadgen(c loadgenConfig) {
 	rep, err := serve.RunLoad(serve.LoadConfig{
 		BaseURL: base, Submitters: c.submitters, Duration: c.duration, Rate: c.rate,
 		StatusEvery: c.statusEvery, CancelEvery: c.cancelEvery, Seed: c.seed,
+		Retries: c.retries,
 	})
 	if err != nil {
 		fatal("%v", err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,13 @@ type LoadConfig struct {
 	CancelEvery int
 	// Seed makes the generated workload reproducible.
 	Seed uint64
+	// Retries is the retry budget per logical submission: connection
+	// failures, 5xx responses and 429 load shedding are retried with
+	// jittered exponential backoff (honoring Retry-After) up to this many
+	// extra attempts. Every submission carries an idempotency key, so a
+	// retry whose predecessor actually landed cannot double-enqueue. 0
+	// disables retries.
+	Retries int
 }
 
 // LoadReport summarizes a load run from the client's side.
@@ -46,6 +54,9 @@ type LoadReport struct {
 	Submitted     int64   `json:"submitted"`
 	Rejected      int64   `json:"rejected"`
 	Errors        int64   `json:"errors"`
+	Retries       int64   `json:"retries"`
+	Shed          int64   `json:"shed"`
+	Duplicates    int64   `json:"duplicates"`
 	StatusQueries int64   `json:"status_queries"`
 	Cancels       int64   `json:"cancels"`
 	Throughput    float64 `json:"throughput_jobs_per_sec"`
@@ -82,7 +93,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	// Client-side latency histogram: reuse the daemon's lock-free histogram
 	// so thousands of submitters record without a contended mutex.
 	hist := metrics.NewRegistry().NewHistogram("loadgen_submit_seconds", "client submit latency", nil)
-	var submitted, rejected, errCount, statusQ, cancels atomic.Int64
+	var submitted, rejected, errCount, statusQ, cancels, retries, shed, dups atomic.Int64
 
 	var pace time.Duration
 	if cfg.Rate > 0 {
@@ -107,14 +118,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					Runtime: 1 + int64(rng.Uint64()%uint64(cfg.MaxRuntime)),
 				}
 				req.Request = req.Runtime + int64(rng.Uint64()%600)
+				req.IdemKey = fmt.Sprintf("lg-%x-%d-%d", cfg.Seed, w, n)
 				t0 := time.Now()
-				res, code, err := postJob(client, cfg.BaseURL, req)
+				res, code, nTries, err := submitRetry(client, cfg, req, rng, deadline, &shed)
 				hist.Observe(time.Since(t0).Seconds())
+				retries.Add(nTries)
 				switch {
 				case err != nil:
 					errCount.Add(1)
 				case code == http.StatusAccepted:
 					submitted.Add(1)
+					if res != nil && res.Duplicate {
+						dups.Add(1)
+					}
 				default:
 					rejected.Add(1)
 				}
@@ -145,6 +161,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		Submitted:     submitted.Load(),
 		Rejected:      rejected.Load(),
 		Errors:        errCount.Load(),
+		Retries:       retries.Load(),
+		Shed:          shed.Load(),
+		Duplicates:    dups.Load(),
 		StatusQueries: statusQ.Load(),
 		Cancels:       cancels.Load(),
 		Throughput:    float64(submitted.Load()) / cfg.Duration.Seconds(),
@@ -159,21 +178,69 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	return rep, nil
 }
 
-func postJob(c *http.Client, base string, req JobRequest) (*SubmitResult, int, error) {
+// submitRetry posts one logical submission, retrying transport failures,
+// 429 load shedding and 5xx responses with jittered exponential backoff
+// (10ms doubling to 1s, Retry-After honored as a floor) until the attempt
+// budget or the run deadline runs out. It returns the total number of
+// retries taken; the caller classifies the final outcome.
+func submitRetry(c *http.Client, cfg LoadConfig, req JobRequest, rng *stats.RNG, deadline time.Time, shed *atomic.Int64) (*SubmitResult, int, int64, error) {
+	var nRetries int64
+	backoff := 10 * time.Millisecond
+	for {
+		res, code, retryAfter, err := postJob(c, cfg.BaseURL, req)
+		if code == http.StatusTooManyRequests {
+			shed.Add(1)
+		}
+		retryable := err != nil || code == http.StatusTooManyRequests || code >= 500
+		if !retryable || nRetries >= int64(cfg.Retries) {
+			return res, code, nRetries, err
+		}
+		// Jitter in [backoff/2, 3*backoff/2) decorrelates the retry storm a
+		// daemon restart would otherwise face.
+		d := backoff/2 + time.Duration(rng.Uint64()%uint64(backoff))
+		if retryAfter > d {
+			d = retryAfter
+		}
+		if time.Now().Add(d).After(deadline) {
+			return res, code, nRetries, err
+		}
+		time.Sleep(d)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		nRetries++
+	}
+}
+
+func postJob(c *http.Client, base string, req JobRequest) (*SubmitResult, int, time.Duration, error) {
 	body, _ := json.Marshal(req)
-	resp, err := c.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if req.IdemKey != "" {
+		hreq.Header.Set("Idempotency-Key", req.IdemKey)
+	}
+	resp, err := c.Do(hreq)
+	if err != nil {
+		return nil, 0, 0, err
 	}
 	defer drainClose(resp)
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	if resp.StatusCode != http.StatusAccepted {
-		return nil, resp.StatusCode, nil
+		return nil, resp.StatusCode, retryAfter, nil
 	}
 	var res SubmitResult
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
-		return nil, resp.StatusCode, err
+		return nil, resp.StatusCode, retryAfter, err
 	}
-	return &res, resp.StatusCode, nil
+	return &res, resp.StatusCode, retryAfter, nil
 }
 
 func getStatus(c *http.Client, base string, id int) error {

@@ -18,6 +18,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Config assembles a scheduler daemon.
@@ -63,6 +65,39 @@ type Config struct {
 	PredictCap int
 	// Registry receives the daemon's metrics; nil creates a private one.
 	Registry *metrics.Registry
+	// WALPath, when non-empty, enables the durability layer (DESIGN.md §13):
+	// every state-changing command is appended to a checksummed write-ahead
+	// log and fsync'd before the client sees its acknowledgement, so a crash
+	// at any instant loses no accepted work. Requires SnapshotPath.
+	WALPath string
+	// HistoryPath is the append-only completed-record log paired with the
+	// WAL; "" defaults to WALPath + ".hist".
+	HistoryPath string
+	// CompactEvery rotates the durability files once the WAL holds this many
+	// records (snapshot + fresh generation), bounding both log growth and
+	// recovery replay. 0 defaults to 4096.
+	CompactEvery int
+	// WALNoSync skips the per-command fsync (group commit at snapshot and
+	// compaction boundaries only). Faster, but a crash may lose the last
+	// acknowledged commands — recovery stays consistent, not complete.
+	WALNoSync bool
+	// FS abstracts the filesystem for fault-injection tests; nil = the real
+	// one.
+	FS wal.FS
+}
+
+// applyWALDefaults resolves the durability defaults shared by the
+// constructors and Recover.
+func applyWALDefaults(cfg *Config) {
+	if cfg.FS == nil {
+		cfg.FS = wal.OSFS{}
+	}
+	if cfg.WALPath != "" && cfg.HistoryPath == "" {
+		cfg.HistoryPath = cfg.WALPath + ".hist"
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 4096
+	}
 }
 
 // Errors the command API returns.
@@ -80,6 +115,11 @@ type JobRequest struct {
 	Runtime  int64 `json:"runtime"`
 	Request  int64 `json:"request,omitempty"`
 	Priority int   `json:"priority,omitempty"`
+	// IdemKey, when non-empty, deduplicates retries: a key already seen
+	// returns the original job's acknowledgement (Duplicate set) instead of
+	// enqueueing a second copy. Carried by the Idempotency-Key HTTP header,
+	// persisted through snapshots and the WAL.
+	IdemKey string `json:"-"`
 }
 
 // SubmitResult acknowledges a submission.
@@ -88,6 +128,9 @@ type SubmitResult struct {
 	Submit         int64 `json:"submit"`
 	Started        bool  `json:"started"`
 	PredictedStart int64 `json:"predicted_start"` // -1 when unavailable
+	// Duplicate marks a replayed acknowledgement for an idempotency key that
+	// was already accepted.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // JobStatus answers "when will my job start?".
@@ -123,6 +166,13 @@ type Stats struct {
 	SubmitP99Ms     float64 `json:"submit_p99_ms"`
 	SubmitMaxMs     float64 `json:"submit_max_ms"`
 	Draining        bool    `json:"draining"`
+	WALGen          uint64  `json:"wal_gen,omitempty"`
+	WALRecords      int64   `json:"wal_records_total,omitempty"`
+	WALBytes        int64   `json:"wal_bytes,omitempty"`
+	Compactions     int64   `json:"wal_compactions,omitempty"`
+	WALSyncP99Ms    float64 `json:"wal_sync_p99_ms,omitempty"`
+	Shed            int64   `json:"shed,omitempty"`
+	Degraded        bool    `json:"degraded,omitempty"`
 }
 
 type cmdKind int
@@ -167,9 +217,23 @@ type Scheduler struct {
 
 	cmds     chan command
 	done     chan struct{}
+	killC    chan struct{}
 	draining atomic.Bool
 
+	// Degraded mode: flipped (never cleared) by the run goroutine when the
+	// durability layer fails; read by /healthz and Stats.
+	degraded       atomic.Bool
+	degradedReason atomic.Value // string
+
 	// Everything below is owned by the run goroutine.
+	fs        wal.FS
+	wlog      *wal.Log // command write-ahead log; nil = WAL off or degraded
+	hlog      *wal.Log // append-only completed-record history
+	walGen    uint64
+	histCount int
+	encBuf    []byte
+	idem      map[string]int // idempotency key -> assigned job ID
+
 	eng       *sim.Engine
 	pred      backfill.Predictor
 	qbuf      []*trace.Job
@@ -196,11 +260,33 @@ type Scheduler struct {
 	mRunning   *metrics.Gauge
 	hDecision  *metrics.Histogram
 	hSubmit    *metrics.Histogram
+
+	mShed        *metrics.Counter
+	mWALRecords  *metrics.Counter
+	mWALBytes    *metrics.Gauge
+	mCompactions *metrics.Counter
+	mDegraded    *metrics.Gauge
+	hWALSync     *metrics.Histogram
 }
 
-// New prepares a scheduler over an empty cluster. Call Start to begin
-// serving.
+// New prepares a scheduler over an empty cluster, initializing the
+// durability files when WALPath is configured. Call Start to begin serving.
 func New(cfg Config) (*Scheduler, error) {
+	s, err := newEmpty(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.WALPath != "" {
+		if err := s.initFreshWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// newEmpty builds the in-memory scheduler over an empty cluster without
+// touching the durability files (Recover attaches them itself).
+func newEmpty(cfg Config) (*Scheduler, error) {
 	s, err := newScheduler(cfg)
 	if err != nil {
 		return nil, err
@@ -214,11 +300,18 @@ func New(cfg Config) (*Scheduler, error) {
 	return s, nil
 }
 
-// NewFromState resumes a scheduler from a saved snapshot: the engine is
-// rebuilt via sim.NewEngineFromSnapshot, prior records are retained for
-// status answers, and the clock adapter re-anchors so simulation time
-// continues from the snapshot clock.
+// NewFromState resumes a scheduler from a legacy self-contained snapshot
+// (record history embedded in the state). WAL-mode recovery goes through
+// Recover instead, which also replays the log tail.
 func NewFromState(cfg Config, st *State) (*Scheduler, error) {
+	return newFromStateWithPrior(cfg, st, st.Records)
+}
+
+// newFromStateWithPrior rebuilds the engine via sim.NewEngineFromSnapshot
+// with an explicit prior-record history (embedded in the snapshot for legacy
+// states, loaded from the history log in WAL mode), and re-anchors the clock
+// adapter so simulation time continues from the snapshot clock.
+func newFromStateWithPrior(cfg Config, st *State, prior []metrics.Record) (*Scheduler, error) {
 	if st.Procs != cfg.Procs || st.Mem != cfg.Mem {
 		return nil, fmt.Errorf("serve: state machine %d procs/%d mem does not match config %d/%d",
 			st.Procs, st.Mem, cfg.Procs, cfg.Mem)
@@ -236,8 +329,8 @@ func NewFromState(cfg Config, st *State) (*Scheduler, error) {
 	s.eng = eng
 	s.simEpoch = st.SimClock
 	s.nextID = st.NextID
-	s.prior = st.Records
-	for _, r := range st.Records {
+	s.prior = prior
+	for _, r := range prior {
 		s.started[r.Job.ID] = r
 		s.submitted[r.Job.ID] = r.Job
 	}
@@ -250,7 +343,10 @@ func NewFromState(cfg Config, st *State) (*Scheduler, error) {
 	for _, id := range st.Canceled {
 		s.canceledIDs[id] = true
 	}
-	s.mStarted.Add(int64(len(st.Records)))
+	for k, id := range st.Idem {
+		s.idem[k] = id
+	}
+	s.mStarted.Add(int64(len(prior)))
 	return s, nil
 }
 
@@ -264,16 +360,23 @@ func newScheduler(cfg Config) (*Scheduler, error) {
 	if cfg.TimeScale < 0 {
 		return nil, fmt.Errorf("serve: negative time scale %g", cfg.TimeScale)
 	}
+	if cfg.WALPath != "" && cfg.SnapshotPath == "" {
+		return nil, errors.New("serve: WALPath requires SnapshotPath (compaction writes snapshots)")
+	}
+	applyWALDefaults(&cfg)
 	s := &Scheduler{
 		cfg:         cfg,
 		clock:       cfg.Clock,
 		scale:       cfg.TimeScale,
 		est:         cfg.Estimator,
+		fs:          cfg.FS,
 		cmds:        make(chan command),
 		done:        make(chan struct{}),
+		killC:       make(chan struct{}),
 		submitted:   make(map[int]*trace.Job),
 		canceledIDs: make(map[int]bool),
 		started:     make(map[int]metrics.Record),
+		idem:        make(map[string]int),
 		predCache:   make(map[int]int64),
 		predStamp:   -1,
 		reg:         cfg.Registry,
@@ -306,6 +409,12 @@ func newScheduler(cfg Config) (*Scheduler, error) {
 		"Wall time of one scheduling round (engine event batch).", nil)
 	s.hSubmit = s.reg.NewHistogram("rlbf_submit_latency_seconds",
 		"Wall time to admit a submission and run its scheduling round.", nil)
+	s.mShed = s.reg.NewCounter("rlbf_shed_total", "Submissions rejected by admission-queue load shedding.")
+	s.mWALRecords = s.reg.NewCounter("rlbf_wal_records_total", "Records appended to the write-ahead log.")
+	s.mWALBytes = s.reg.NewGauge("rlbf_wal_bytes", "Size of the current write-ahead log generation.")
+	s.mCompactions = s.reg.NewCounter("rlbf_wal_compactions_total", "WAL compaction rotations.")
+	s.mDegraded = s.reg.NewGauge("rlbf_degraded", "1 when durability has failed and scheduling continues in-memory.")
+	s.hWALSync = s.reg.NewHistogram("rlbf_wal_sync_seconds", "Wall time of one WAL fsync.", nil)
 	return s, nil
 }
 
@@ -412,16 +521,30 @@ func (s *Scheduler) run() {
 			if s.handle(c) {
 				return
 			}
+			s.maybeCompact()
 		case <-timerC:
 			s.advanceTo(s.simNow())
+			s.maybeCompact()
 		case <-snapC:
 			s.advanceTo(s.simNow())
 			if st, err := s.captureState(); err == nil {
-				_ = WriteState(s.cfg.SnapshotPath, st)
+				_ = s.writeSnapshot(st)
 			}
 			snapC = s.clock.After(s.cfg.SnapshotEvery)
+		case <-s.killC:
+			// Test hook: die in place, like SIGKILL — no sync, no close, no
+			// final snapshot.
+			return
 		}
 	}
+}
+
+// crash terminates the run goroutine immediately without syncing or closing
+// the durability files — the in-process stand-in for SIGKILL used by the
+// crash-recovery tests.
+func (s *Scheduler) crash() {
+	close(s.killC)
+	<-s.done
 }
 
 // simNow maps the wall clock to simulation seconds. The engine clock is a
@@ -442,8 +565,14 @@ func (s *Scheduler) wallUntil(t int64) time.Duration {
 }
 
 // advanceTo processes every engine event due at or before simulation instant
-// `now`, timing each event batch as one scheduling decision.
+// `now`, timing each event batch as one scheduling decision. When the
+// advance will fire events, it is logged to the WAL first, so replay reaches
+// the same instant before re-deriving the same events; idle advances write
+// nothing.
 func (s *Scheduler) advanceTo(now int64) {
+	if t, ok := s.eng.NextEventTime(); ok && t <= now {
+		s.walAdvance(now)
+	}
 	for {
 		t, ok := s.eng.NextEventTime()
 		if !ok || t > now {
@@ -460,13 +589,15 @@ func (s *Scheduler) advanceTo(now int64) {
 	s.mRunning.Set(int64(s.eng.RunningCount()))
 }
 
-// syncRecords ingests newly appended engine records into the status map.
+// syncRecords ingests newly appended engine records into the status map and
+// the history log.
 func (s *Scheduler) syncRecords() {
 	recs := s.eng.Records()
 	for ; s.recSeen < len(recs); s.recSeen++ {
 		r := recs[s.recSeen]
 		s.started[r.Job.ID] = r
 		s.mStarted.Inc()
+		s.walHistory(r)
 	}
 }
 
@@ -488,6 +619,11 @@ func (s *Scheduler) handle(c command) bool {
 		if ok {
 			s.canceledIDs[c.id] = true
 			s.mCancels.Inc()
+			if s.wlog != nil {
+				s.encBuf = encodeCancel(s.encBuf[:0], c.id, now)
+				s.walAppend(s.encBuf)
+				s.walSync()
+			}
 		}
 		c.reply <- reply{ok: ok}
 	case cmdStatus:
@@ -504,17 +640,18 @@ func (s *Scheduler) handle(c command) bool {
 	case cmdSnapshot:
 		s.advanceTo(s.simNow())
 		st, err := s.captureState()
-		if err == nil && s.cfg.SnapshotPath != "" {
-			err = WriteState(s.cfg.SnapshotPath, st)
+		if err == nil {
+			err = s.writeSnapshot(st)
 		}
 		c.reply <- reply{state: st, err: err}
 	case cmdDrain:
 		s.draining.Store(true)
 		s.advanceTo(s.simNow())
 		st, err := s.captureState()
-		if err == nil && s.cfg.SnapshotPath != "" {
-			err = WriteState(s.cfg.SnapshotPath, st)
+		if err == nil {
+			err = s.writeSnapshot(st)
 		}
+		s.closeWAL()
 		c.reply <- reply{state: st, err: err}
 		return true
 	}
@@ -529,6 +666,11 @@ func (s *Scheduler) handle(c command) bool {
 func (s *Scheduler) handleSubmit(req JobRequest) (SubmitResult, error) {
 	if s.draining.Load() {
 		return SubmitResult{}, ErrDraining
+	}
+	if req.IdemKey != "" {
+		if id, ok := s.idem[req.IdemKey]; ok {
+			return s.duplicateAck(id), nil
+		}
 	}
 	t0 := time.Now()
 	now := s.simNow()
@@ -551,7 +693,15 @@ func (s *Scheduler) handleSubmit(req JobRequest) (SubmitResult, error) {
 	}
 	s.nextID++
 	s.submitted[j.ID] = j
+	if req.IdemKey != "" {
+		s.idem[req.IdemKey] = j.ID
+	}
+	if s.wlog != nil {
+		s.encBuf = encodeSubmit(s.encBuf[:0], j, req.IdemKey)
+		s.walAppend(s.encBuf)
+	}
 	s.advanceTo(now)
+	s.walSync() // the ack below must not outrun the disk
 	s.mSubmits.Inc()
 	res := SubmitResult{ID: j.ID, Submit: now, PredictedStart: -1}
 	if rec, ok := s.started[j.ID]; ok {
@@ -562,6 +712,21 @@ func (s *Scheduler) handleSubmit(req JobRequest) (SubmitResult, error) {
 	}
 	s.hSubmit.Observe(time.Since(t0).Seconds())
 	return res, nil
+}
+
+// duplicateAck re-acknowledges a submission whose idempotency key was
+// already accepted: the client retried after losing the original reply, so
+// it gets the original job's identity back instead of a second enqueue.
+func (s *Scheduler) duplicateAck(id int) SubmitResult {
+	res := SubmitResult{ID: id, Duplicate: true, PredictedStart: -1}
+	if j, ok := s.submitted[id]; ok {
+		res.Submit = j.Submit
+	}
+	if rec, ok := s.started[id]; ok {
+		res.Started = true
+		res.PredictedStart = rec.Start
+	}
+	return res
 }
 
 // statusOf classifies a job after the engine has advanced to `now`.
@@ -637,6 +802,13 @@ func (s *Scheduler) statsLocked() Stats {
 		SubmitP99Ms:     s.hSubmit.Quantile(0.99) * 1000,
 		SubmitMaxMs:     s.hSubmit.Max() * 1000,
 		Draining:        s.draining.Load(),
+		WALGen:          s.walGen,
+		WALRecords:      s.mWALRecords.Value(),
+		WALBytes:        s.mWALBytes.Value(),
+		Compactions:     s.mCompactions.Value(),
+		WALSyncP99Ms:    s.hWALSync.Quantile(0.99) * 1000,
+		Shed:            s.mShed.Value(),
+		Degraded:        s.degraded.Load(),
 	}
 }
 
@@ -662,5 +834,9 @@ func (s *Scheduler) captureState() (*State, error) {
 		st.Canceled = append(st.Canceled, id)
 	}
 	sort.Ints(st.Canceled)
+	if len(s.idem) > 0 {
+		st.Idem = maps.Clone(s.idem)
+	}
+	st.HistoryCount = s.histCount
 	return st, nil
 }

@@ -3,19 +3,22 @@ package serve
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/pool"
 )
 
 // Server is the HTTP/JSON front end over a Scheduler. Request handling is
 // bounded by an internal/pool semaphore: at most MaxInflight requests hold a
-// slot at once, and the rest queue FIFO inside Acquire — under overload the
-// daemon degrades to bounded queueing instead of unbounded goroutine growth,
-// the same admission-control discipline the replay pipeline uses for shards.
+// slot at once, and up to maxQueued more wait FIFO inside Acquire — under
+// overload the daemon degrades to bounded queueing, and past the queue bound
+// it sheds load with 429 + Retry-After instead of letting latency and
+// goroutine count grow without limit. Submissions carry an optional
+// Idempotency-Key header, so a shed or timed-out request can be retried
+// without risk of double-enqueueing.
 //
 // Routes:
 //
@@ -24,19 +27,25 @@ import (
 //	DELETE /v1/jobs/{id}   cancel a job        ({"id":N,"canceled":bool})
 //	GET    /statz          daemon accounting   (Stats)
 //	GET    /metrics        Prometheus text exposition
-//	GET    /healthz        liveness ("ok", 503 once draining)
+//	GET    /healthz        liveness (ok / degraded, 503 once draining)
 type Server struct {
-	sched *Scheduler
-	slots *pool.Pool
+	sched    *Scheduler
+	slots    *pool.Pool
+	maxLoad  int64
+	inflight atomic.Int64 // requests holding or waiting for a slot
 }
 
 // NewServer wraps a scheduler. maxInflight bounds concurrently handled
-// requests; values < 1 default to 256.
-func NewServer(s *Scheduler, maxInflight int) *Server {
+// requests (< 1 defaults to 256); maxQueued bounds how many more may wait
+// for a slot before load shedding kicks in (< 1 defaults to 4×maxInflight).
+func NewServer(s *Scheduler, maxInflight, maxQueued int) *Server {
 	if maxInflight < 1 {
 		maxInflight = 256
 	}
-	return &Server{sched: s, slots: pool.New(maxInflight)}
+	if maxQueued < 1 {
+		maxQueued = 4 * maxInflight
+	}
+	return &Server{sched: s, slots: pool.New(maxInflight), maxLoad: int64(maxInflight + maxQueued)}
 }
 
 // Handler returns the daemon's route mux.
@@ -50,9 +59,19 @@ func (sv *Server) Handler() http.Handler {
 	return mux
 }
 
-// bounded wraps a handler with the admission semaphore.
+// bounded wraps a handler with the admission semaphore and its shedding
+// bound: a request that would make the waiting line exceed maxQueued is
+// turned away immediately with 429 + Retry-After, never parked.
 func (sv *Server) bounded(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if sv.inflight.Add(1) > sv.maxLoad {
+			sv.inflight.Add(-1)
+			sv.sched.mShed.Inc()
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+			return
+		}
+		defer sv.inflight.Add(-1)
 		if sv.slots.Acquire(1) == 0 {
 			httpError(w, http.StatusServiceUnavailable, "server shutting down")
 			return
@@ -75,6 +94,7 @@ func (sv *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	req.IdemKey = r.Header.Get("Idempotency-Key")
 	res, err := sv.sched.Submit(req)
 	switch {
 	case errors.Is(err, ErrDraining):
@@ -137,13 +157,20 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sv.sched.Registry().WritePrometheus(w)
 }
 
+// handleHealthz reports liveness. Degraded (durability lost, scheduling
+// continues in-memory) still answers 200 so orchestrators don't kill a
+// daemon that is holding live jobs, but the status and reason flag it for
+// alerting; draining answers 503 so load balancers stop routing here.
 func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if sv.sched.Draining() {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok")
+	if sv.sched.Degraded() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded", "reason": sv.sched.DegradedReason()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/backfill"
 	"repro/internal/sched"
+	"repro/internal/wal"
 )
 
 // newTestDaemon spins a real-clock daemon at high time scale behind an
@@ -30,7 +31,7 @@ func newTestDaemon(t *testing.T, procs int, scale float64) (*Scheduler, *Server,
 		t.Fatal(err)
 	}
 	s.Start()
-	sv := NewServer(s, 64)
+	sv := NewServer(s, 64, 0)
 	ts := httptest.NewServer(sv.Handler())
 	t.Cleanup(ts.Close)
 	return s, sv, ts
@@ -276,4 +277,229 @@ func TestServeLoadgenSmoke(t *testing.T) {
 	if got := int64(len(st.Records) + len(st.Queued) + len(st.Pending) + len(st.Canceled)); got != rep.Submitted {
 		t.Fatalf("drained state accounts for %d jobs, client submitted %d", got, rep.Submitted)
 	}
+}
+
+// TestServeIdempotencyHeader pins the HTTP contract of the Idempotency-Key
+// header: a replayed key gets the original job back and the daemon accepts
+// only one copy.
+func TestServeIdempotencyHeader(t *testing.T) {
+	s, _, ts := newTestDaemon(t, 8, 1000)
+	defer s.Drain()
+
+	submit := func() SubmitResult {
+		t.Helper()
+		data, _ := json.Marshal(JobRequest{Procs: 1, Runtime: 60})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(data))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", "retry-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d", resp.StatusCode)
+		}
+		var res SubmitResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := submit()
+	if first.Duplicate {
+		t.Fatalf("first submission marked duplicate: %+v", first)
+	}
+	second := submit()
+	if !second.Duplicate || second.ID != first.ID {
+		t.Fatalf("retry got %+v, want duplicate of job %d", second, first.ID)
+	}
+	stats, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted != 1 {
+		t.Fatalf("accepted %d, want 1", stats.Accepted)
+	}
+}
+
+// TestServeLoadShedding pins the overload contract: once the admission queue
+// is full, further requests are shed immediately with 429 + Retry-After
+// instead of being parked, and the parked requests still complete.
+func TestServeLoadShedding(t *testing.T) {
+	clk := NewManualClock(time.Unix(1700000000, 0))
+	s, err := New(testConfig(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain()
+	sv := NewServer(s, 1, 1) // one handler slot, one waiter
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// Hold the only slot so HTTP requests park in Acquire.
+	if sv.slots.Acquire(1) == 0 {
+		t.Fatal("could not take the handler slot")
+	}
+	done := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			r, err := http.Get(ts.URL + "/statz")
+			if err != nil {
+				done <- -1
+				return
+			}
+			r.Body.Close()
+			done <- r.StatusCode
+		}()
+	}
+	for i := 0; sv.inflight.Load() < 2 && i < 400; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sv.inflight.Load() != 2 {
+		t.Fatalf("inflight %d, want 2 parked requests", sv.inflight.Load())
+	}
+
+	r, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: %d, want 429", r.StatusCode)
+	}
+	if r.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if s.mShed.Value() != 1 {
+		t.Fatalf("shed counter %d, want 1", s.mShed.Value())
+	}
+
+	sv.slots.Release(1)
+	for i := 0; i < 2; i++ {
+		if code := <-done; code != http.StatusOK {
+			t.Fatalf("parked request finished with %d, want 200", code)
+		}
+	}
+}
+
+// TestServeHealthzDegraded pins that a durability failure is surfaced through
+// /healthz and /metrics while the daemon keeps accepting work.
+func TestServeHealthzDegraded(t *testing.T) {
+	dir := t.TempDir()
+	ffs := wal.NewFaultFS(wal.OSFS{})
+	clk := NewManualClock(time.Unix(1700000000, 0))
+	cfg := walConfig(clk, dir, ffs, 0)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	sv := NewServer(s, 8, 0)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	health := func() map[string]string {
+		t.Helper()
+		r, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("healthz: %d, want 200", r.StatusCode)
+		}
+		var m map[string]string
+		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m := health(); m["status"] != "ok" {
+		t.Fatalf("healthy daemon reports %+v", m)
+	}
+
+	ffs.FailSyncsAfter(0)
+	resp, body := post(t, ts.URL+"/v1/jobs", JobRequest{Procs: 1, Runtime: 60})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit during disk failure: %d %s (degraded mode must keep accepting)", resp.StatusCode, body)
+	}
+	m := health()
+	if m["status"] != "degraded" || m["reason"] == "" {
+		t.Fatalf("degraded daemon reports %+v", m)
+	}
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(r.Body)
+	r.Body.Close()
+	if !strings.Contains(buf.String(), "rlbf_degraded 1") {
+		t.Fatal("metrics missing rlbf_degraded 1")
+	}
+	ffs.FailSyncsAfter(-1) // let the drain snapshot land
+	if _, err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeLoadgenRetries pins the client-side robustness satellite: 5xx
+// responses are retried with backoff under stable idempotency keys, so a
+// flaky front end costs retries, not errors or duplicates.
+func TestServeLoadgenRetries(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[string]int{}
+	var ids atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs" || r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			t.Error("submission without an idempotency key")
+		}
+		mu.Lock()
+		attempts[key]++
+		n := attempts[key]
+		mu.Unlock()
+		if n > 2 {
+			t.Errorf("key %s attempted %d times; one failure should cost one retry", key, n)
+		}
+		if n == 1 {
+			// First attempt of every logical submission fails.
+			httpError(w, http.StatusInternalServerError, "transient")
+			return
+		}
+		writeJSON(w, http.StatusAccepted, SubmitResult{ID: int(ids.Add(1)), PredictedStart: -1})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:    ts.URL,
+		Submitters: 4,
+		Duration:   300 * time.Millisecond,
+		Retries:    3,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors %d with retries enabled, want 0", rep.Errors)
+	}
+	if rep.Submitted == 0 {
+		t.Fatalf("no submissions made it through: %+v", rep)
+	}
+	if rep.Retries < rep.Submitted {
+		t.Fatalf("retries %d < submitted %d; every submission needed one retry", rep.Retries, rep.Submitted)
+	}
+	// rep.Rejected is deliberately unchecked: submissions issued near the run
+	// deadline fail their first attempt and cannot retry without sleeping
+	// past the deadline, so the client correctly gives up on them and the
+	// tail of the run accumulates rejections. The handler-side attempt
+	// counter above is the real retry-discipline assertion.
 }

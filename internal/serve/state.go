@@ -3,24 +3,30 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 
 	"repro/internal/backfill"
 	"repro/internal/metrics"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // stateVersion guards the snapshot wire format; bump on incompatible change.
+// Version 1 files from before the WAL era parse unchanged: the durability
+// fields below all default to zero, which is exactly their legacy meaning.
 const stateVersion = 1
 
 // State is the daemon's crash-recovery snapshot: the engine snapshot fields
 // (clock, queue, running set, pending arrivals) plus the serve-layer
-// bookkeeping (ID allocator, cancellation log, full record history). A State
-// plus the stream of future submissions fully determines the rest of the
-// schedule — the same invariant sim.Snapshot provides for batch replays,
-// extended over the live path. It marshals to plain JSON so operators can
-// inspect snapshots with standard tools.
+// bookkeeping (ID allocator, cancellation log, idempotency index, record
+// history). A State plus the stream of future submissions fully determines
+// the rest of the schedule — the same invariant sim.Snapshot provides for
+// batch replays, extended over the live path. It marshals to plain JSON so
+// operators can inspect snapshots with standard tools.
+//
+// In WAL mode (DESIGN.md §13) the on-disk snapshot carries the live state
+// only: Records is stripped (the append-only history log holds the record
+// stream) and WALGen/WALRecords/HistoryCount tie the snapshot to its logs,
+// so a periodic snapshot costs O(live state), not O(history).
 type State struct {
 	Version  int                `json:"version"`
 	Name     string             `json:"name"`
@@ -33,39 +39,44 @@ type State struct {
 	Pending  []*trace.Job       `json:"pending,omitempty"`
 	Canceled []int              `json:"canceled,omitempty"`
 	Records  []metrics.Record   `json:"records,omitempty"`
+	// Idem maps idempotency keys to the job IDs they were assigned, so a
+	// client retry after a crash still deduplicates.
+	Idem map[string]int `json:"idem,omitempty"`
+	// WALGen is the write-ahead log generation this snapshot extends;
+	// recovery discards a log older than the snapshot's generation.
+	WALGen uint64 `json:"wal_gen,omitempty"`
+	// WALRecords is the number of records of generation WALGen already
+	// reflected in this snapshot; recovery replays only the records after.
+	WALRecords int `json:"wal_records,omitempty"`
+	// HistoryCount is the number of history-log records at the snapshot
+	// instant: entries before it are prior history, entries after it must
+	// match what WAL replay re-derives (the byte-identity check).
+	HistoryCount int `json:"history_count,omitempty"`
 }
 
-// WriteState atomically persists a state snapshot: marshal to a temporary
-// file in the target directory, fsync, rename. A crash mid-write leaves the
-// previous snapshot intact.
+// WriteState crash-safely persists a state snapshot through the shared
+// atomic-replace helper: temp file, fsync, rename, then fsync of the
+// containing directory — the rename alone is not durable on ext4/xfs until
+// the directory itself is synced.
 func WriteState(path string, st *State) error {
+	return writeStateFS(wal.OSFS{}, path, st)
+}
+
+func writeStateFS(fs wal.FS, path string, st *State) error {
 	data, err := json.Marshal(st)
 	if err != nil {
 		return fmt.Errorf("serve: marshal state: %v", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".rlbf-state-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return wal.WriteFileAtomic(fs, path, data)
 }
 
 // ReadState loads and validates a snapshot written by WriteState.
 func ReadState(path string) (*State, error) {
-	data, err := os.ReadFile(path)
+	return readStateFS(wal.OSFS{}, path)
+}
+
+func readStateFS(fs wal.FS, path string) (*State, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

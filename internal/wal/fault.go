@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error every injected fault returns, so tests can
+// distinguish deliberate failures from real ones.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps a real filesystem with SQLite-torture-style fault injection
+// for crash testing:
+//
+//   - countdown write/sync/rename failures (disk full, dying disk),
+//   - short writes (a failing write persists a prefix — a torn record),
+//   - Crash(), which models an OS crash by truncating every tracked file
+//     back to its last successfully synced size: everything an fsync did not
+//     cover is gone, exactly the data a real power cut loses.
+//
+// The wrapper tracks the synced-vs-written byte position of every file
+// opened through it (append-only usage assumed, which is how the WAL writes),
+// including files already closed, so Crash can revoke their unsynced tails
+// too. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	files       map[string]*fileTrack
+	failWrites  int // countdown; <0 disabled; 0 = fail now and onward
+	failSyncs   int
+	failRenames int
+	shortWrites bool
+	writes      int
+	syncs       int
+}
+
+type fileTrack struct {
+	written int64
+	synced  int64
+}
+
+// NewFaultFS wraps inner (usually OSFS) with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{
+		inner:       inner,
+		files:       make(map[string]*fileTrack),
+		failWrites:  -1,
+		failSyncs:   -1,
+		failRenames: -1,
+	}
+}
+
+// FailWritesAfter arms write failure: the next n writes succeed, every write
+// after that fails with ErrInjected. n = 0 fails the very next write.
+func (f *FaultFS) FailWritesAfter(n int) { f.mu.Lock(); f.failWrites = n; f.mu.Unlock() }
+
+// FailSyncsAfter arms sync failure (file and directory syncs share the
+// countdown).
+func (f *FaultFS) FailSyncsAfter(n int) { f.mu.Lock(); f.failSyncs = n; f.mu.Unlock() }
+
+// FailRenamesAfter arms rename failure.
+func (f *FaultFS) FailRenamesAfter(n int) { f.mu.Lock(); f.failRenames = n; f.mu.Unlock() }
+
+// ShortWrites makes failing writes persist the first half of their buffer
+// before reporting the error — the torn-record case.
+func (f *FaultFS) ShortWrites(on bool) { f.mu.Lock(); f.shortWrites = on; f.mu.Unlock() }
+
+// Writes returns the number of write calls observed.
+func (f *FaultFS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writes }
+
+// Crash models an OS crash: every tracked file is truncated back to its last
+// synced size (unsynced appends vanish), and all armed faults are cleared so
+// the "rebooted" process can recover through the same FS.
+func (f *FaultFS) Crash() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrites, f.failSyncs, f.failRenames = -1, -1, -1
+	f.shortWrites = false
+	var firstErr error
+	for path, tr := range f.files {
+		if tr.written > tr.synced {
+			if err := os.Truncate(path, tr.synced); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			tr.written = tr.synced
+		}
+	}
+	return firstErr
+}
+
+// takeWriteFault reports whether the current write must fail, consuming one
+// countdown step otherwise.
+func (f *FaultFS) takeWriteFault() (fail, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.failWrites < 0 {
+		return false, false
+	}
+	if f.failWrites == 0 {
+		return true, f.shortWrites
+	}
+	f.failWrites--
+	return false, false
+}
+
+func (f *FaultFS) takeSyncFault() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.failSyncs < 0 {
+		return false
+	}
+	if f.failSyncs == 0 {
+		return true
+	}
+	f.failSyncs--
+	return false
+}
+
+func (f *FaultFS) takeRenameFault() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failRenames < 0 {
+		return false
+	}
+	if f.failRenames == 0 {
+		return true
+	}
+	f.failRenames--
+	return false
+}
+
+// track returns the persistent per-path bookkeeping entry.
+func (f *FaultFS) track(path string) *fileTrack {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tr, ok := f.files[path]
+	if !ok {
+		tr = &fileTrack{}
+		f.files[path] = tr
+	}
+	return tr
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	tr := f.track(name)
+	f.mu.Lock()
+	if flag&os.O_TRUNC != 0 {
+		tr.written, tr.synced = 0, 0
+	} else if fi, err := f.inner.Stat(name); err == nil {
+		// Content present at open survived to be reopened; treat it as the
+		// durable baseline.
+		tr.written, tr.synced = fi.Size(), fi.Size()
+	}
+	f.mu.Unlock()
+	return &faultFile{fs: f, inner: inner, path: name, tr: tr}, nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if f.takeRenameFault() {
+		return ErrInjected
+	}
+	err := f.inner.Rename(oldname, newname)
+	if err == nil {
+		f.mu.Lock()
+		if tr, ok := f.files[oldname]; ok {
+			f.files[newname] = tr
+			delete(f.files, oldname)
+		}
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	err := f.inner.Remove(name)
+	if err == nil {
+		f.mu.Lock()
+		delete(f.files, name)
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) }
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(name string) error {
+	if f.takeSyncFault() {
+		return ErrInjected
+	}
+	return f.inner.SyncDir(name)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+	path  string
+	tr    *fileTrack
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	fail, short := ff.fs.takeWriteFault()
+	if fail {
+		if short && len(p) > 1 {
+			n, _ := ff.inner.Write(p[:len(p)/2])
+			ff.fs.mu.Lock()
+			ff.tr.written += int64(n)
+			ff.fs.mu.Unlock()
+			return n, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	n, err := ff.inner.Write(p)
+	ff.fs.mu.Lock()
+	ff.tr.written += int64(n)
+	ff.fs.mu.Unlock()
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.takeSyncFault() {
+		return ErrInjected
+	}
+	if err := ff.inner.Sync(); err != nil {
+		return err
+	}
+	ff.fs.mu.Lock()
+	ff.tr.synced = ff.tr.written
+	ff.fs.mu.Unlock()
+	return nil
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.inner.Truncate(size); err != nil {
+		return err
+	}
+	ff.fs.mu.Lock()
+	if ff.tr.written > size {
+		ff.tr.written = size
+	}
+	if ff.tr.synced > size {
+		ff.tr.synced = size
+	}
+	ff.fs.mu.Unlock()
+	return nil
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,111 @@
+// Package wal provides the durability substrate behind the serve daemon
+// (DESIGN.md §13): an append-only, fsync'd, CRC-framed write-ahead log, an
+// atomic file-replace helper with directory fsync, and a filesystem
+// abstraction with a fault-injecting implementation for crash testing.
+//
+// The package is deliberately generic — records are opaque byte payloads.
+// The serve layer defines its own record encoding on top (submit / cancel /
+// clock-advance commands and the derived job-record history).
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the log needs. Every implementation must
+// honor the durability contract: data is crash-safe only after Sync returns
+// nil.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// FS abstracts the filesystem so tests can inject faults (see FaultFS). The
+// zero-dependency production implementation is OSFS.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stat reports file metadata.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory, making previous renames and creates in it
+	// crash-durable (rename alone is not durable on ext4/xfs until the
+	// containing directory is synced).
+	SyncDir(name string) error
+}
+
+// OSFS is the production filesystem.
+type OSFS struct{}
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteFileAtomic crash-safely replaces path with data: write to a sibling
+// temporary file, fsync it, rename over the target, then fsync the directory
+// so the rename itself is durable. A crash at any point leaves either the old
+// file or the new one, never a torn mix. The temporary name is deterministic
+// (path + ".tmp"), which is safe under the single-writer discipline every
+// caller in this repo follows.
+func WriteFileAtomic(fs FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("wal: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("wal: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("wal: close %s: %w", tmp, err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
+}

@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// File layout:
+//
+//	header  = magic[8] ("RLBFWAL\x01") + generation uint64 (little-endian)
+//	record  = length uint32 + crc32c(payload) uint32 + payload bytes
+//
+// Records are framed independently, so a reader can always tell a clean end
+// of log from a torn tail: a frame whose length runs past EOF, or whose CRC
+// does not match, marks the end of the valid prefix. Everything before the
+// first bad frame is trusted; everything from it on is discarded (append-only
+// logs cannot contain valid data after a torn write).
+
+const (
+	headerSize = 16
+	frameSize  = 8 // length + crc
+	// MaxRecord bounds one payload; a length prefix above it is treated as
+	// corruption rather than an allocation request.
+	MaxRecord = 16 << 20
+)
+
+var magic = [8]byte{'R', 'L', 'B', 'F', 'W', 'A', 'L', 1}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptHeader reports a log whose fixed header is damaged or from a
+// different format version. Unlike a torn tail, nothing in the file can be
+// trusted.
+var ErrCorruptHeader = errors.New("wal: corrupt or incompatible log header")
+
+// Log is an append-only record log. It is not safe for concurrent use; the
+// serve daemon's single-writer loop is the intended caller.
+type Log struct {
+	fs      FS
+	f       File
+	path    string
+	gen     uint64
+	buf     []byte
+	records int
+	size    int64
+	synced  int64 // size at the last successful Sync
+}
+
+// Create creates (or truncates) the log at path with the given generation
+// and makes the empty log durable: header written, file synced, directory
+// synced. The generation ties a log to the snapshot it extends — recovery
+// discards a log whose generation is older than the snapshot's.
+func Create(fs FS, path string, gen uint64) (*Log, error) {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{fs: fs, f: f, path: path, gen: gen}
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write header %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync header %s: %w", path, err)
+	}
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync dir for %s: %w", path, err)
+	}
+	l.size = headerSize
+	l.synced = headerSize
+	return l, nil
+}
+
+// OpenAppend reopens an existing log for appending after a replay: the file
+// is truncated to res.GoodSize (dropping any torn tail) and subsequent
+// Appends extend the valid prefix. The returned log reports the replayed
+// record count and generation.
+func OpenAppend(fs FS, path string, res *ReplayResult) (*Log, error) {
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(res.GoodSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate %s to %d: %w", path, res.GoodSize, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync %s after truncate: %w", path, err)
+	}
+	f.Close()
+	// Reopen in append mode so writes land at the (possibly repaired) end.
+	f, err = fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{
+		fs: fs, f: f, path: path, gen: res.Gen,
+		records: len(res.Records), size: res.GoodSize, synced: res.GoodSize,
+	}, nil
+}
+
+// Append frames one payload and writes it. The record is crash-durable only
+// after the next successful Sync.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), MaxRecord)
+	}
+	l.buf = l.buf[:0]
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(len(payload)))
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, crc32.Checksum(payload, castagnoli))
+	l.buf = append(l.buf, payload...)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	l.records++
+	l.size += int64(len(l.buf))
+	return nil
+}
+
+// Sync makes every appended record crash-durable.
+func (l *Log) Sync() error {
+	if l.synced == l.size {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	l.synced = l.size
+	return nil
+}
+
+// Records returns the number of records appended (plus replayed, for
+// OpenAppend logs) since creation.
+func (l *Log) Records() int { return l.records }
+
+// Size returns the log's byte length including the header.
+func (l *Log) Size() int64 { return l.size }
+
+// Gen returns the log's generation.
+func (l *Log) Gen() uint64 { return l.gen }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the underlying file without syncing.
+func (l *Log) Close() error { return l.f.Close() }
+
+// ReplayResult is the outcome of scanning a log.
+type ReplayResult struct {
+	// Gen is the generation stamped in the header.
+	Gen uint64
+	// Records holds the valid payloads in append order. Slices alias one
+	// backing read of the file; callers must not retain them past decoding.
+	Records [][]byte
+	// GoodSize is the byte length of the valid prefix (header + intact
+	// records). Truncating the file to GoodSize repairs a torn tail.
+	GoodSize int64
+	// Torn reports that the file extended past the valid prefix with a
+	// damaged or incomplete frame — the expected aftermath of a crash mid
+	// append. TornReason says what was wrong.
+	Torn       bool
+	TornReason string
+}
+
+// Replay scans the log at path, returning every intact record and the
+// position of the first damaged or incomplete frame, if any. A torn tail is
+// not an error: crashes legitimately leave one, and recovery proceeds with
+// the valid prefix. Only a damaged header — which invalidates the whole
+// file — is fatal.
+func Replay(fs FS, path string) (*ReplayResult, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize || [8]byte(data[:8]) != magic {
+		return nil, fmt.Errorf("%w: %s", ErrCorruptHeader, path)
+	}
+	res := &ReplayResult{
+		Gen:      binary.LittleEndian.Uint64(data[8:16]),
+		GoodSize: headerSize,
+	}
+	off := int64(headerSize)
+	n := int64(len(data))
+	for off < n {
+		if off+frameSize > n {
+			res.Torn, res.TornReason = true, fmt.Sprintf("truncated frame header at offset %d", off)
+			break
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if length > MaxRecord {
+			res.Torn, res.TornReason = true, fmt.Sprintf("implausible record length %d at offset %d", length, off)
+			break
+		}
+		if off+frameSize+length > n {
+			res.Torn, res.TornReason = true, fmt.Sprintf("record of %d bytes runs past end of file at offset %d", length, off)
+			break
+		}
+		payload := data[off+frameSize : off+frameSize+length]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			res.Torn, res.TornReason = true, fmt.Sprintf("checksum mismatch at offset %d", off)
+			break
+		}
+		res.Records = append(res.Records, payload)
+		off += frameSize + length
+		res.GoodSize = off
+	}
+	return res, nil
+}

@@ -1,0 +1,283 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testRecords(n int) [][]byte {
+	recs := make([][]byte, n)
+	for i := range recs {
+		recs[i] = []byte(fmt.Sprintf("record-%04d-%s", i, bytes.Repeat([]byte{byte(i)}, i%37)))
+	}
+	return recs
+}
+
+func writeLog(t *testing.T, fs FS, path string, gen uint64, recs [][]byte) {
+	t.Helper()
+	l, err := Create(fs, path, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	recs := testRecords(100)
+	writeLog(t, OSFS{}, path, 7, recs)
+
+	res, err := Replay(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != 7 {
+		t.Fatalf("gen %d, want 7", res.Gen)
+	}
+	if res.Torn {
+		t.Fatalf("clean log reported torn: %s", res.TornReason)
+	}
+	if len(res.Records) != len(recs) {
+		t.Fatalf("%d records, want %d", len(res.Records), len(recs))
+	}
+	for i, r := range res.Records {
+		if !bytes.Equal(r, recs[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	fi, _ := os.Stat(path)
+	if res.GoodSize != fi.Size() {
+		t.Fatalf("good size %d, file size %d", res.GoodSize, fi.Size())
+	}
+}
+
+func TestWALEmptyAndHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.wal")
+	writeLog(t, OSFS{}, path, 3, nil)
+	res, err := Replay(OSFS{}, path)
+	if err != nil || len(res.Records) != 0 || res.Torn || res.Gen != 3 {
+		t.Fatalf("empty log replay: %+v err %v", res, err)
+	}
+
+	// Damaged magic is fatal, not torn.
+	data, _ := os.ReadFile(path)
+	data[0] ^= 0xff
+	bad := filepath.Join(dir, "bad.wal")
+	os.WriteFile(bad, data, 0o644)
+	if _, err := Replay(OSFS{}, bad); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatalf("corrupt magic: %v, want ErrCorruptHeader", err)
+	}
+
+	// A file shorter than the header is fatal too.
+	os.WriteFile(bad, data[:5], 0o644)
+	if _, err := Replay(OSFS{}, bad); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatalf("short header: %v, want ErrCorruptHeader", err)
+	}
+
+	if _, err := Replay(OSFS{}, filepath.Join(dir, "missing.wal")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: %v, want ErrNotExist", err)
+	}
+}
+
+func TestWALOpenAppendAfterTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.wal")
+	recs := testRecords(10)
+	writeLog(t, OSFS{}, path, 1, recs)
+
+	// Tear the tail: chop 3 bytes off the last record.
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Torn || len(res.Records) != 9 {
+		t.Fatalf("torn replay: %d records torn=%v", len(res.Records), res.Torn)
+	}
+
+	// Reopen for append: the torn tail is truncated away and new records
+	// extend the valid prefix.
+	l, err := OpenAppend(OSFS{}, path, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 9 || l.Gen() != 1 {
+		t.Fatalf("reopened log: %d records gen %d", l.Records(), l.Gen())
+	}
+	if err := l.Append([]byte("after-repair")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	res2, err := Replay(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Torn || len(res2.Records) != 10 {
+		t.Fatalf("after repair: %d records torn=%v", len(res2.Records), res2.Torn)
+	}
+	if string(res2.Records[9]) != "after-repair" {
+		t.Fatalf("appended record %q", res2.Records[9])
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFileAtomic(OSFS{}, path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OSFS{}, path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("content %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+
+	// A failed rename leaves the previous content intact and no temp file.
+	ffs := NewFaultFS(OSFS{})
+	ffs.FailRenamesAfter(0)
+	if err := WriteFileAtomic(ffs, path, []byte("v3")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename fault: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("content after failed replace %q, want v2", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind after failed rename: %v", err)
+	}
+
+	// A failed write mid-file also leaves the target untouched.
+	ffs = NewFaultFS(OSFS{})
+	ffs.FailWritesAfter(0)
+	if err := WriteFileAtomic(ffs, path, []byte("v4")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write fault: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("content after failed write %q, want v2", got)
+	}
+}
+
+// TestFaultFSCrashLosesUnsynced pins the crash model: appended-but-unsynced
+// bytes vanish at Crash, synced bytes survive.
+func TestFaultFSCrashLosesUnsynced(t *testing.T) {
+	ffs := NewFaultFS(OSFS{})
+	path := filepath.Join(t.TempDir(), "x.wal")
+	l, err := Create(ffs, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("synced-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("lost-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No sync: these three records are in the page cache only.
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 5 || res.Torn {
+		t.Fatalf("after crash: %d records torn=%v, want the 5 synced ones", len(res.Records), res.Torn)
+	}
+	for i, r := range res.Records {
+		if want := fmt.Sprintf("synced-%d", i); string(r) != want {
+			t.Fatalf("record %d = %q, want %q", i, r, want)
+		}
+	}
+}
+
+// TestFaultFSShortWriteTearsRecord pins that an injected short write leaves
+// a torn tail the replayer repairs around.
+func TestFaultFSShortWriteTearsRecord(t *testing.T) {
+	ffs := NewFaultFS(OSFS{})
+	ffs.ShortWrites(true)
+	path := filepath.Join(t.TempDir(), "x.wal")
+	l, err := Create(ffs, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(bytes.Repeat([]byte("a"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailWritesAfter(0)
+	if err := l.Append(bytes.Repeat([]byte("b"), 100)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append with write fault: %v", err)
+	}
+	l.Close()
+	res, err := Replay(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 || !res.Torn {
+		t.Fatalf("after short write: %d records torn=%v, want 1 record + torn tail", len(res.Records), res.Torn)
+	}
+}
+
+// TestWALSyncFailureSurfaces pins that a failing fsync reports the error
+// (the daemon's trigger for degraded mode) and does not mark data durable.
+func TestWALSyncFailureSurfaces(t *testing.T) {
+	ffs := NewFaultFS(OSFS{})
+	path := filepath.Join(t.TempDir(), "x.wal")
+	l, err := Create(ffs, path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailSyncsAfter(0)
+	if err := l.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync fault: %v", err)
+	}
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(OSFS{}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Fatalf("record survived a failed sync + crash: %d records", len(res.Records))
+	}
+}
