@@ -10,9 +10,18 @@
 //	rlbf-serve -addr :8080 -procs 128 -scale 3600 -snapshot state.json -snapshot-every 10s
 //	rlbf-serve -resume state.json -addr :8080 -procs 128
 //
-// Load-generation client mode (drives a running daemon):
+// Replicated deployment (DESIGN.md §14): a primary plus warm-standby
+// followers that tail its command WAL over HTTP, byte-verify the derived
+// schedule, and promote themselves (bumping the WAL generation — the fencing
+// token) when the primary's lease expires:
 //
-//	rlbf-serve -loadgen -addr http://127.0.0.1:8080 -submitters 1000 -duration 20s
+//	rlbf-serve -addr :8080 -wal a.wal -snapshot a.json -peer http://host2:8080
+//	rlbf-serve -addr :8081 -wal b.wal -snapshot b.json -follow -peer http://host1:8080
+//
+// Load-generation client mode (drives a running daemon; -addr may list
+// several endpoints, failing over between them):
+//
+//	rlbf-serve -loadgen -addr http://127.0.0.1:8080,http://127.0.0.1:8081 -submitters 1000 -duration 20s
 //
 // On SIGTERM or SIGINT the daemon drains: intake closes (submissions get
 // 503), in-flight requests finish, a final state snapshot is written, and
@@ -37,6 +46,7 @@ import (
 	"repro/internal/backfill"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/serveclient"
 )
 
 func main() {
@@ -55,6 +65,11 @@ func main() {
 	walPath := flag.String("wal", "", "durable write-ahead log path (needs -snapshot); recovers automatically from existing files")
 	walNoSync := flag.Bool("wal-nosync", false, "skip the per-command WAL fsync (faster, may lose acked work on crash)")
 	compactEvery := flag.Int("compact-every", 4096, "rotate snapshot+WAL after this many log records")
+	follow := flag.Bool("follow", false, "run as a warm-standby follower of -peer (needs -wal)")
+	peerArg := flag.String("peer", "", "comma-separated base URLs of the other replicas")
+	lease := flag.Duration("lease", 3*time.Second, "primary lease: a follower promotes after this long without stream progress")
+	ackTimeout := flag.Duration("ack-timeout", time.Second, "semi-sync replication ack timeout before an ack degrades to async")
+	roundBudget := flag.Duration("round-budget", 2*time.Second, "watchdog: flag a scheduling round that exceeds this and dump goroutines (0 = off)")
 	maxInflight := flag.Int("max-inflight", 256, "concurrently handled HTTP requests")
 	maxQueued := flag.Int("max-queued", 0, "waiting HTTP requests before 429 load shedding (0 = 4x max-inflight)")
 	predictCap := flag.Int("predict-cap", 4096, "max queue depth for predicted-start answers")
@@ -74,7 +89,7 @@ func main() {
 
 	if *loadgen {
 		runLoadgen(loadgenConfig{
-			base: *addr, submitters: *submitters, duration: *duration, rate: *rate,
+			endpoints: splitEndpoints(*addr), submitters: *submitters, duration: *duration, rate: *rate,
 			statusEvery: *statusEvery, cancelEvery: *cancelEvery, seed: *seed,
 			retries: *retries, report: *report, minThroughput: *minThroughput, maxP99: *maxP99,
 		})
@@ -100,12 +115,14 @@ func main() {
 		fatal("unknown backfill strategy %q", *bfArg)
 	}
 
+	peers := splitEndpoints(*peerArg)
 	cfg := serve.Config{
 		Name: *name, Procs: *procs, Mem: *mem,
 		Policy: policy, Backfiller: bf, Scenario: scn, Estimator: est,
 		TimeScale: *scale, SnapshotPath: *snapshotPath, SnapshotEvery: *snapshotEvery,
 		PredictCap: *predictCap,
 		WALPath:    *walPath, WALNoSync: *walNoSync, CompactEvery: *compactEvery,
+		Lease: *lease, Peers: peers, ReplAckTimeout: *ackTimeout, RoundBudget: *roundBudget,
 	}
 	if *snapshotPath == "" {
 		cfg.SnapshotEvery = 0
@@ -115,19 +132,49 @@ func main() {
 	}
 
 	var sched *serve.Scheduler
+	var follower *serve.Follower
 	switch {
+	case *follow:
+		if *walPath == "" {
+			fatal("-follow requires -wal (the follower mirrors the primary's log)")
+		}
+		if len(peers) == 0 {
+			fatal("-follow requires -peer")
+		}
+		if follower, err = serve.NewFollower(cfg, serve.FollowConfig{Peers: peers}); err != nil {
+			fatal("follower: %v", err)
+		}
+		sched = follower.Scheduler()
+		log.Printf("rlbf-serve: %s following %v at generation %d (%d records applied): recovery verified against primary digest",
+			*name, peers, sched.WALGen(), sched.WALApplied())
 	case *walPath != "":
+		// Fencing handshake first, against the ON-DISK generation: recovery
+		// itself compacts (bumping the local generation), which could mask a
+		// tie with a follower that promoted while this primary was down.
+		fencePeer, fenceGen, fenced := serve.FenceCheck(cfg, peers, nil)
 		// Recover handles every on-disk combination: a full triple after a
 		// crash, a partial one after a crash mid-rotation, or nothing at all
 		// (fresh start). New would truncate existing logs, so WAL mode always
-		// goes through Recover.
+		// goes through Recover. A fenced zombie recovers WITHOUT the final
+		// compaction: bumping its generation would rebase an unreplicated WAL
+		// tail into a lineage that ties with the promoted peer's, and the
+		// stale on-disk generation is what lets a later -follow restart know
+		// to re-bootstrap.
 		var info *serve.RecoveryInfo
-		if sched, info, err = serve.Recover(cfg); err != nil {
+		if fenced {
+			sched, info, err = serve.RecoverFenced(cfg)
+		} else {
+			sched, info, err = serve.Recover(cfg)
+		}
+		if err != nil {
 			fatal("recover: %v", err)
 		}
 		log.Printf("rlbf-serve: recovery verified: gen %d, %d prior records, %d commands replayed, %d records re-derived (%d byte-verified, %d re-appended, %d orphans dropped) in %s",
 			info.WALGen, info.PriorRecords, info.Applied, info.Rederived, info.Verified,
 			info.HistoryAppended, info.HistoryTruncated, info.Elapsed.Round(time.Microsecond))
+		if fenced {
+			sched.Fence(fencePeer, fenceGen)
+		}
 	case *resume != "":
 		st, err := serve.ReadState(*resume)
 		if err != nil {
@@ -143,7 +190,16 @@ func main() {
 			fatal("%v", err)
 		}
 	}
-	sched.Start()
+	if follower != nil {
+		follower.Start()
+	} else {
+		sched.Start()
+		if len(peers) > 0 && *walPath != "" {
+			// Runtime fencing guard: keep probing peers and self-fence the
+			// moment any reachable replica reports a newer generation.
+			defer serve.WatchPeers(sched, peers, time.Second, nil)()
+		}
+	}
 
 	server := serve.NewServer(sched, *maxInflight, *maxQueued)
 	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
@@ -159,6 +215,12 @@ func main() {
 	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
 	sig := <-sigC
 	log.Printf("rlbf-serve: %v received, draining", sig)
+	if follower != nil {
+		follower.Stop()
+		if ferr := follower.Err(); ferr != nil {
+			log.Printf("rlbf-serve: follower stream had stopped: %v", ferr)
+		}
+	}
 
 	// Drain sequence: stop accepting submissions, let in-flight HTTP finish,
 	// then stop the scheduler loop and persist the final state.
@@ -182,7 +244,7 @@ func main() {
 }
 
 type loadgenConfig struct {
-	base                  string
+	endpoints             []string
 	submitters            int
 	duration              time.Duration
 	rate                  float64
@@ -194,13 +256,26 @@ type loadgenConfig struct {
 	minThroughput, maxP99 float64
 }
 
-func runLoadgen(c loadgenConfig) {
-	base := c.base
-	if !strings.HasPrefix(base, "http") {
-		base = "http://" + strings.TrimPrefix(base, ":")
+// splitEndpoints parses a comma-separated endpoint list, normalizing bare
+// ports and host:port forms to http URLs.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		e = strings.TrimSpace(e)
+		if e == "" {
+			continue
+		}
+		if !strings.HasPrefix(e, "http") {
+			e = "http://" + strings.TrimPrefix(e, ":")
+		}
+		out = append(out, e)
 	}
-	rep, err := serve.RunLoad(serve.LoadConfig{
-		BaseURL: base, Submitters: c.submitters, Duration: c.duration, Rate: c.rate,
+	return out
+}
+
+func runLoadgen(c loadgenConfig) {
+	rep, err := serveclient.RunLoad(serveclient.LoadConfig{
+		Endpoints: c.endpoints, Submitters: c.submitters, Duration: c.duration, Rate: c.rate,
 		StatusEvery: c.statusEvery, CancelEvery: c.cancelEvery, Seed: c.seed,
 		Retries: c.retries,
 	})

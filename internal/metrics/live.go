@@ -51,6 +51,24 @@ func (g *Gauge) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v.Load())
 }
 
+// FGauge is an atomically settable float gauge, for instantaneous values
+// that are naturally fractional (replication lag in seconds, lease age).
+type FGauge struct {
+	name, help string
+	bits       atomic.Uint64 // float64 bits
+}
+
+// Set stores the current value.
+func (g *FGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FGauge) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		g.name, g.help, g.name, g.name, strconv.FormatFloat(g.Value(), 'g', -1, 64))
+}
+
 // Histogram is a fixed-bucket cumulative histogram with atomic buckets. The
 // bounds are upper bucket limits in ascending order; observations beyond the
 // last bound land in an implicit overflow (+Inf) bucket. Quantiles are
@@ -174,6 +192,13 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 // NewGauge registers and returns a gauge.
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	g := &Gauge{name: name, help: help}
+	r.add(g)
+	return g
+}
+
+// NewFGauge registers and returns a float gauge.
+func (r *Registry) NewFGauge(name, help string) *FGauge {
+	g := &FGauge{name: name, help: help}
 	r.add(g)
 	return g
 }

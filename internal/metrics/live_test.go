@@ -96,3 +96,27 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
 	}
 }
+
+func TestFGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewFGauge("rlbf_test_lease_age_seconds", "an fgauge")
+	if g.Value() != 0 {
+		t.Fatalf("zero value = %v, want 0", g.Value())
+	}
+	g.Set(1.25)
+	if g.Value() != 1.25 {
+		t.Fatalf("value = %v, want 1.25", g.Value())
+	}
+	g.Set(0.5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE rlbf_test_lease_age_seconds gauge",
+		"rlbf_test_lease_age_seconds 0.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultTransport is an http.RoundTripper double that injects the network
+// failures a replication stream must survive: dropped requests, duplicated
+// responses (an old batch delivered again), stalled chunks, and corrupted
+// bodies. Faults fire on a countdown over stream requests, mirroring the
+// FaultFS countdown style: DropEvery=5 drops every 5th stream request.
+//
+// Only /replica/stream requests are faulted; snapshot/history/health pass
+// through, so tests can aim chaos at the tail protocol specifically.
+type FaultTransport struct {
+	// Inner performs the real round trips; nil means http.DefaultTransport.
+	Inner http.RoundTripper
+
+	// DropEvery returns a transport error on every Nth stream request.
+	DropEvery int
+	// DupEvery serves the previous stream response again (duplicate
+	// delivery) on every Nth stream request, discarding the real one.
+	DupEvery int
+	// CorruptEvery flips one byte of the response body on every Nth
+	// record-carrying stream response — the follower's frame checksums must
+	// catch it. The countdown skips idle long-poll responses (empty bodies):
+	// there is nothing to corrupt in them.
+	CorruptEvery int
+	// StallEvery sleeps StallFor before every Nth stream request.
+	StallEvery int
+	StallFor   time.Duration
+
+	mu       sync.Mutex
+	n        int
+	nb       int // record-carrying responses seen (CorruptEvery countdown)
+	requests int
+	drops    int
+	dups     int
+	corrupts int
+	stalls   int
+	lastBody []byte
+	lastHdr  http.Header
+	lastCode int
+}
+
+// ErrInjectedDrop is the transport error returned for dropped requests.
+var ErrInjectedDrop = errors.New("replica: injected network drop")
+
+func fires(every, n int) bool { return every > 0 && n%every == 0 }
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if !strings.Contains(req.URL.Path, pathStream) {
+		return inner.RoundTrip(req)
+	}
+
+	t.mu.Lock()
+	t.n++
+	t.requests++
+	n := t.n
+	stall := fires(t.StallEvery, n)
+	drop := fires(t.DropEvery, n)
+	dup := fires(t.DupEvery, n)
+	t.mu.Unlock()
+
+	if stall {
+		t.mu.Lock()
+		t.stalls++
+		t.mu.Unlock()
+		time.Sleep(t.StallFor)
+	}
+	if drop {
+		t.mu.Lock()
+		t.drops++
+		t.mu.Unlock()
+		return nil, ErrInjectedDrop
+	}
+
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	t.mu.Lock()
+	if dup && t.lastHdr != nil {
+		// Deliver the previous response again; the real one is discarded
+		// and its records will be re-requested (at-least-once delivery).
+		t.dups++
+		dupResp := &http.Response{
+			StatusCode: t.lastCode,
+			Status:     http.StatusText(t.lastCode),
+			Header:     t.lastHdr.Clone(),
+			Body:       io.NopCloser(bytes.NewReader(t.lastBody)),
+			Request:    req,
+		}
+		t.mu.Unlock()
+		return dupResp, nil
+	}
+	t.lastBody = append([]byte(nil), body...)
+	t.lastHdr = resp.Header.Clone()
+	t.lastCode = resp.StatusCode
+	if len(body) > 0 {
+		t.nb++
+		if fires(t.CorruptEvery, t.nb) {
+			t.corrupts++
+			body = append([]byte(nil), body...)
+			body[len(body)/2] ^= 0x40
+		}
+	}
+	t.mu.Unlock()
+
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	return resp, nil
+}
+
+// Counts reports how many stream requests were seen and how many faults of
+// each kind fired.
+func (t *FaultTransport) Counts() (requests, drops, dups, corrupts, stalls int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests, t.drops, t.dups, t.corrupts, t.stalls
+}

@@ -1,0 +1,102 @@
+package replica
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// histStub serves a fixed history prefix.
+type histStub struct{ frames [][]byte }
+
+func (h histStub) HistoryFrames(to int) ([][]byte, error) { return h.frames, nil }
+
+func newStreamServer(t *testing.T) (*Feed, *httptest.Server) {
+	t.Helper()
+	f := NewFeed()
+	mux := http.NewServeMux()
+	NewHandler(f, histStub{}).Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return f, ts
+}
+
+// TestClientStreamRoundTrip pins the wire protocol end to end: framed
+// payloads, batch headers, 409 on unknown positions.
+func TestClientStreamRoundTrip(t *testing.T) {
+	f, ts := newStreamServer(t)
+	f.Rotate(3, []byte(`{}`), 1, 0xaa)
+	f.Publish(recsOf("alpha", "beta"), 2, 0xbb)
+
+	cl := &Client{Base: ts.URL, Session: "s1"}
+	b, err := cl.Stream(3, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Gen != 3 || b.Seq != 0 || len(b.Records) != 2 ||
+		string(b.Records[0]) != "alpha" || string(b.Records[1]) != "beta" ||
+		b.HistCount != 2 || b.HistDigest != 0xbb {
+		t.Fatalf("batch %+v", b)
+	}
+	// Unknown generation → SnapshotNeeded via 409.
+	b, err = cl.Stream(99, 0, 0, 0)
+	if err != nil || !b.SnapshotNeeded {
+		t.Fatalf("unknown gen: batch %+v err %v", b, err)
+	}
+	// The session ack registered through the stream request.
+	if !f.HasFollower(replWindow) {
+		t.Fatal("stream request did not register the session")
+	}
+}
+
+const replWindow = 10 * 1e9 // 10s in time.Duration units
+
+// TestFaultTransportDropDupCorrupt pins each fault kind's observable effect:
+// drops surface as transport errors, duplicates replay the previous response,
+// corruption is caught by the frame checksums — never silently accepted.
+func TestFaultTransportDropDupCorrupt(t *testing.T) {
+	f, ts := newStreamServer(t)
+	f.Rotate(1, []byte(`{}`), 0, 0)
+	f.Publish(recsOf("r0", "r1", "r2"), 3, 0x1)
+
+	t.Run("drop", func(t *testing.T) {
+		ft := &FaultTransport{DropEvery: 1}
+		cl := &Client{Base: ts.URL, HTTP: &http.Client{Transport: ft}}
+		if _, err := cl.Stream(1, 0, 0, 0); !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("err %v, want injected drop", err)
+		}
+	})
+	t.Run("dup", func(t *testing.T) {
+		ft := &FaultTransport{DupEvery: 2} // every 2nd request replays the previous response
+		cl := &Client{Base: ts.URL, HTTP: &http.Client{Transport: ft}}
+		b1, err := cl.Stream(1, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Second request asks from seq 1 but receives the seq-0 response again.
+		b2, err := cl.Stream(1, 1, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b2.Seq != b1.Seq || len(b2.Records) != len(b1.Records) {
+			t.Fatalf("dup not replayed: first %+v, second %+v", b1, b2)
+		}
+		if _, _, dups, _, _ := ft.Counts(); dups != 1 {
+			t.Fatalf("dups %d, want 1", dups)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		ft := &FaultTransport{CorruptEvery: 1}
+		cl := &Client{Base: ts.URL, HTTP: &http.Client{Transport: ft}}
+		_, err := cl.Stream(1, 0, 0, 0)
+		if err == nil {
+			t.Fatal("corrupted body passed frame verification")
+		}
+		if !errors.Is(err, wal.ErrBadFrame) {
+			t.Fatalf("corruption surfaced as %v, want a frame checksum error", err)
+		}
+	})
+}

@@ -1,0 +1,370 @@
+// Package replica implements warm-standby replication for the serve daemon.
+//
+// The primary publishes its command-WAL records into a Feed as it appends
+// them; followers tail the feed over HTTP (long-poll, resumable by
+// (generation, sequence) position) and apply the records into their own WAL
+// and engine replica. Compactions rotate the feed to a new generation and
+// carry the rotation snapshot, so a freshly attached follower can bootstrap
+// from the snapshot plus the history log and then join the live tail.
+//
+// Every batch carries the primary's history cursor — the count of derived
+// dispatch records and a chained CRC32C digest over their encoded bytes — as
+// of the batch's end. A follower replays the batch, re-derives the same
+// dispatch records through its own engine, and compares: any divergence is
+// detected within one batch, not at the next failover.
+//
+// The WAL generation doubles as the fencing token. A follower promotes by
+// rotating its WAL to generation+1 before accepting writes; a zombie primary
+// restarted afterwards observes the higher generation during its handshake
+// and refuses writes by construction.
+package replica
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed reports a feed that has been shut down (drain, crash teardown, or
+// durability loss on the primary — a degraded primary must stop replicating,
+// because its WAL no longer advances).
+var ErrClosed = errors.New("replica: feed closed")
+
+// Batch is one chunk of the replication stream.
+type Batch struct {
+	// Gen is the WAL generation the records belong to.
+	Gen uint64
+	// Seq is the index within Gen of the first record in Records.
+	Seq int
+	// Records holds encoded WAL payloads (without frame headers) in append
+	// order. The follower appends them verbatim to its own WAL.
+	Records [][]byte
+	// HistCount and HistDigest describe the primary's derived dispatch
+	// record stream as of the end of this batch: the number of history-log
+	// records and the chained CRC32C digest over their encoded payloads.
+	HistCount  int
+	HistDigest uint32
+	// NextGen, when non-zero, tells the follower to rotate its local WAL to
+	// this generation after applying Records — the primary compacted.
+	NextGen uint64
+	// SnapshotNeeded reports that the requested position is no longer in
+	// the feed; the follower must bootstrap from /replica/snapshot.
+	SnapshotNeeded bool
+	// Closed reports the feed has shut down.
+	Closed bool
+}
+
+type session struct {
+	gen     uint64
+	applied int
+	last    time.Time
+}
+
+// Feed is the primary-side replication buffer. It retains every published
+// record of the current WAL generation plus the full previous generation (so
+// a follower that is mid-generation when the primary compacts can finish it),
+// bounded in practice by the compaction interval.
+//
+// All methods are safe for concurrent use; the scheduler's single-writer
+// goroutine publishes, HTTP handler goroutines read.
+type Feed struct {
+	mu     sync.Mutex
+	wake   chan struct{} // closed and replaced on every state change
+	closed bool
+
+	gen        uint64
+	base       int // sequence number of recs[0]: 0 after a rotation, >0 when a restarted replica resumed mid-generation
+	recs       [][]byte
+	histCount  int
+	histDigest uint32
+
+	// Rotation snapshot for the current generation (state at Seq 0); nil on
+	// a replica that resumed mid-generation (Seed), which then cannot serve
+	// bootstraps until its next rotation.
+	snap           []byte
+	snapHistCount  int
+	snapHistDigest uint32
+
+	// Previous generation, retained for laggy followers. Its hist cursor is
+	// the state at the rotation point (== snapHistCount/snapHistDigest).
+	prevSet  bool
+	prevGen  uint64
+	prevBase int
+	prevRecs [][]byte
+
+	sessions map[string]*session
+}
+
+// NewFeed returns an empty feed. It serves SnapshotNeeded until the first
+// Rotate seeds it with a generation and snapshot.
+func NewFeed() *Feed {
+	return &Feed{wake: make(chan struct{}), sessions: make(map[string]*session)}
+}
+
+func (f *Feed) broadcast() {
+	close(f.wake)
+	f.wake = make(chan struct{})
+}
+
+// Publish appends records to the current generation with the history cursor
+// as of after the last of them. The feed takes ownership of recs and its
+// payloads; the caller must not reuse them.
+func (f *Feed) Publish(recs [][]byte, histCount int, histDigest uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.recs = append(f.recs, recs...)
+	f.histCount = histCount
+	f.histDigest = histDigest
+	f.broadcast()
+}
+
+// Rotate starts a new generation: the primary compacted, snapshot is the
+// rotation state (JSON) at the new generation's Seq 0, and the hist cursor is
+// the state at the rotation point. The previous generation's records are
+// retained for followers still finishing it.
+func (f *Feed) Rotate(gen uint64, snapshot []byte, histCount int, histDigest uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.prevSet, f.prevGen, f.prevBase, f.prevRecs = f.gen != 0, f.gen, f.base, f.recs
+	f.gen, f.base, f.recs = gen, 0, nil
+	f.snap = snapshot
+	f.snapHistCount, f.snapHistDigest = histCount, histDigest
+	f.histCount, f.histDigest = histCount, histDigest
+	f.broadcast()
+}
+
+// Seed primes the feed of a replica that resumed an existing generation
+// mid-stream (follower restart): subsequent publishes carry sequence numbers
+// from base up. No rotation snapshot exists for it, so bootstrap serving
+// stays unavailable until the next Rotate.
+func (f *Feed) Seed(gen uint64, base int, histCount int, histDigest uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.gen, f.base, f.recs = gen, base, nil
+	f.snap = nil
+	f.histCount, f.histDigest = histCount, histDigest
+	f.broadcast()
+}
+
+// Snapshot returns the current generation's rotation snapshot and its hist
+// cursor, for follower bootstrap. The snapshot is nil before the first
+// Rotate.
+func (f *Feed) Snapshot() (gen uint64, snapshot []byte, histCount int, histDigest uint32) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen, f.snap, f.snapHistCount, f.snapHistDigest
+}
+
+// Gen returns the current generation.
+func (f *Feed) Gen() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gen
+}
+
+// tryBatch returns (batch, false) when there is something to report now, or
+// (zero, true) when the caller should wait for new records.
+func (f *Feed) tryBatch(gen uint64, seq int) (Batch, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return Batch{Closed: true}, false
+	}
+	switch {
+	case gen == f.gen:
+		i := seq - f.base
+		if i < 0 || i > len(f.recs) {
+			// Either the follower wants records from before this replica
+			// resumed, or it claims records never published (a zombie
+			// primary's unreplicated tail). Force a fresh bootstrap rather
+			// than guessing.
+			return Batch{SnapshotNeeded: true}, false
+		}
+		if i == len(f.recs) {
+			return Batch{}, true // caught up; wait
+		}
+		return Batch{
+			Gen: gen, Seq: seq, Records: f.recs[i:],
+			HistCount: f.histCount, HistDigest: f.histDigest,
+		}, false
+	case f.prevSet && gen == f.prevGen:
+		i := seq - f.prevBase
+		if i < 0 || i > len(f.prevRecs) {
+			return Batch{SnapshotNeeded: true}, false
+		}
+		// Serve the remainder of the finished generation (possibly empty)
+		// and tell the follower to rotate. The hist cursor is the state at
+		// the rotation point, which is exactly the end of this batch.
+		return Batch{
+			Gen: gen, Seq: seq, Records: f.prevRecs[i:],
+			HistCount: f.snapHistCount, HistDigest: f.snapHistDigest,
+			NextGen: f.gen,
+		}, false
+	default:
+		return Batch{SnapshotNeeded: true}, false
+	}
+}
+
+// WaitBatch returns the next batch at (gen, seq), long-polling up to wait for
+// new records when the follower is caught up. A caught-up poll that times out
+// returns an empty batch with Gen set — still a liveness signal.
+func (f *Feed) WaitBatch(gen uint64, seq int, wait time.Duration) Batch {
+	deadline := time.Now().Add(wait)
+	for {
+		f.mu.Lock()
+		wake := f.wake
+		f.mu.Unlock()
+		b, retry := f.tryBatch(gen, seq)
+		if !retry {
+			return b
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Batch{Gen: gen, Seq: seq}
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-wake:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// Ack records a follower session's durably applied position. Sessions are
+// keyed by an opaque follower-chosen ID and expire implicitly: HasFollower
+// and WaitApplied only count sessions heard from recently.
+func (f *Feed) Ack(id string, gen uint64, applied int) {
+	if id == "" {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.sessions[id]
+	if s == nil {
+		s = &session{}
+		f.sessions[id] = s
+	}
+	s.gen, s.applied, s.last = gen, applied, time.Now()
+	f.broadcast()
+}
+
+func (f *Feed) appliedSatisfied(gen uint64, count int, window time.Duration) bool {
+	now := time.Now()
+	for _, s := range f.sessions {
+		if now.Sub(s.last) > window {
+			continue
+		}
+		if s.gen > gen || (s.gen == gen && s.applied >= count) {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitApplied blocks until some live follower session has durably applied at
+// least count records of gen (or any record of a later generation), or the
+// timeout expires. It reports whether the ack arrived in time. This is the
+// semi-synchronous ack: the primary calls it after fsyncing a client-visible
+// append, so an acked job survives the loss of the primary's disk whenever a
+// healthy follower is attached.
+func (f *Feed) WaitApplied(gen uint64, count int, timeout, window time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		f.mu.Lock()
+		wake := f.wake
+		closed := f.closed
+		ok := f.appliedSatisfied(gen, count, window)
+		f.mu.Unlock()
+		if ok {
+			return true
+		}
+		if closed {
+			return false
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-wake:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// HasFollower reports whether any session has been heard from within window.
+func (f *Feed) HasFollower(window time.Duration) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := time.Now()
+	for _, s := range f.sessions {
+		if now.Sub(s.last) <= window {
+			return true
+		}
+	}
+	return false
+}
+
+// Followers counts sessions heard from within window.
+func (f *Feed) Followers(window time.Duration) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, now := 0, time.Now()
+	for _, s := range f.sessions {
+		if now.Sub(s.last) <= window {
+			n++
+		}
+	}
+	return n
+}
+
+// Lag returns the current generation's published record count minus the most
+// advanced live session's applied count (0 with no sessions, which reads as
+// "nothing confirmed behind" rather than "caught up").
+func (f *Feed) Lag(window time.Duration) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := f.base + len(f.recs)
+	best, have := 0, false
+	now := time.Now()
+	for _, s := range f.sessions {
+		if now.Sub(s.last) > window {
+			continue
+		}
+		switch {
+		case s.gen == f.gen:
+			if !have || s.applied > best {
+				best, have = s.applied, true
+			}
+		case s.gen > f.gen:
+			best, have = total, true
+		}
+	}
+	if !have || best > total {
+		return 0
+	}
+	return total - best
+}
+
+// Close shuts the feed down, waking every waiter with Closed batches.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.broadcast()
+}

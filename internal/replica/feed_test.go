@@ -1,0 +1,175 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+func recsOf(ss ...string) [][]byte {
+	out := make([][]byte, len(ss))
+	for i, s := range ss {
+		out[i] = []byte(s)
+	}
+	return out
+}
+
+func TestFeedPublishAndTail(t *testing.T) {
+	f := NewFeed()
+	f.Rotate(1, []byte(`{}`), 0, 0)
+	f.Publish(recsOf("a", "b"), 2, 0xdead)
+
+	b := f.WaitBatch(1, 0, 0)
+	if b.SnapshotNeeded || b.Closed {
+		t.Fatalf("batch at (1,0): %+v", b)
+	}
+	if b.Gen != 1 || b.Seq != 0 || len(b.Records) != 2 || b.HistCount != 2 || b.HistDigest != 0xdead {
+		t.Fatalf("batch %+v", b)
+	}
+	// Caught up: an expired long-poll returns an empty liveness batch.
+	b = f.WaitBatch(1, 2, time.Millisecond)
+	if len(b.Records) != 0 || b.SnapshotNeeded || b.NextGen != 0 {
+		t.Fatalf("caught-up batch %+v", b)
+	}
+	// A waiter parked mid-poll is woken by a publish.
+	done := make(chan Batch, 1)
+	go func() { done <- f.WaitBatch(1, 2, 2*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	f.Publish(recsOf("c"), 3, 0xbeef)
+	select {
+	case b = <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish did not wake the waiter")
+	}
+	if len(b.Records) != 1 || string(b.Records[0]) != "c" || b.Seq != 2 {
+		t.Fatalf("woken batch %+v", b)
+	}
+}
+
+func TestFeedRotationServesPreviousGeneration(t *testing.T) {
+	f := NewFeed()
+	f.Rotate(1, []byte(`{"gen":1}`), 0, 0)
+	f.Publish(recsOf("a", "b", "c"), 3, 0x1)
+	f.Rotate(2, []byte(`{"gen":2}`), 3, 0x2)
+	f.Publish(recsOf("d"), 4, 0x3)
+
+	// A follower mid-generation-1 gets the remainder plus the rotation signal
+	// with the hist cursor at the rotation point.
+	b := f.WaitBatch(1, 1, 0)
+	if b.SnapshotNeeded || len(b.Records) != 2 || b.NextGen != 2 || b.HistCount != 3 || b.HistDigest != 0x2 {
+		t.Fatalf("prev-gen batch %+v", b)
+	}
+	// Fully caught up on gen 1: empty records, still the rotation signal.
+	b = f.WaitBatch(1, 3, 0)
+	if len(b.Records) != 0 || b.NextGen != 2 {
+		t.Fatalf("prev-gen tail batch %+v", b)
+	}
+	// Gen 2 serves normally.
+	b = f.WaitBatch(2, 0, 0)
+	if len(b.Records) != 1 || string(b.Records[0]) != "d" {
+		t.Fatalf("gen-2 batch %+v", b)
+	}
+	// Two rotations back is gone: bootstrap required.
+	f.Rotate(3, []byte(`{"gen":3}`), 4, 0x4)
+	b = f.WaitBatch(1, 0, 0)
+	if !b.SnapshotNeeded {
+		t.Fatalf("ancient position should need a snapshot, got %+v", b)
+	}
+	gen, snap, hc, hd := f.Snapshot()
+	if gen != 3 || string(snap) != `{"gen":3}` || hc != 4 || hd != 0x4 {
+		t.Fatalf("snapshot (%d, %s, %d, %x)", gen, snap, hc, hd)
+	}
+}
+
+func TestFeedSeedResumesMidGeneration(t *testing.T) {
+	f := NewFeed()
+	// A restarted replica resumes generation 5 with 7 records already in its
+	// local WAL; later publishes carry absolute sequence numbers.
+	f.Seed(5, 7, 3, 0xabc)
+	f.Publish(recsOf("h"), 4, 0xdef)
+
+	if b := f.WaitBatch(5, 7, 0); len(b.Records) != 1 || b.Seq != 7 {
+		t.Fatalf("mid-gen batch %+v", b)
+	}
+	// Positions before the seed base cannot be served.
+	if b := f.WaitBatch(5, 3, 0); !b.SnapshotNeeded {
+		t.Fatalf("pre-base position should need a snapshot, got %+v", b)
+	}
+	// No rotation snapshot exists for a seeded generation.
+	if _, snap, _, _ := f.Snapshot(); snap != nil {
+		t.Fatal("seeded feed must not serve a rotation snapshot")
+	}
+	// A position claiming records never published (zombie tail) is refused.
+	if b := f.WaitBatch(5, 99, 0); !b.SnapshotNeeded {
+		t.Fatalf("phantom position should need a snapshot, got %+v", b)
+	}
+}
+
+func TestFeedWaitApplied(t *testing.T) {
+	f := NewFeed()
+	f.Rotate(1, []byte(`{}`), 0, 0)
+	f.Publish(recsOf("a", "b"), 2, 0)
+
+	window := time.Minute
+	if f.HasFollower(window) {
+		t.Fatal("no sessions yet")
+	}
+	if f.WaitApplied(1, 2, time.Millisecond, window) {
+		t.Fatal("ack satisfied with no sessions")
+	}
+	f.Ack("s1", 1, 1)
+	if !f.HasFollower(window) || f.Followers(window) != 1 {
+		t.Fatal("session not counted")
+	}
+	if f.Lag(window) != 1 {
+		t.Fatalf("lag %d, want 1", f.Lag(window))
+	}
+	// Ack arriving mid-wait satisfies the waiter.
+	done := make(chan bool, 1)
+	go func() { done <- f.WaitApplied(1, 2, 2*time.Second, window) }()
+	time.Sleep(10 * time.Millisecond)
+	f.Ack("s1", 1, 2)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("ack did not satisfy the wait")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitApplied never returned")
+	}
+	// A session on a later generation satisfies any earlier-generation wait.
+	f.Ack("s2", 2, 0)
+	if !f.WaitApplied(1, 100, time.Millisecond, window) {
+		t.Fatal("later-generation session should satisfy")
+	}
+	// Closing wakes waiters with failure.
+	f2 := NewFeed()
+	done2 := make(chan bool, 1)
+	go func() { done2 <- f2.WaitApplied(1, 1, 2*time.Second, window) }()
+	time.Sleep(10 * time.Millisecond)
+	f2.Close()
+	if ok := <-done2; ok {
+		t.Fatal("closed feed satisfied an ack wait")
+	}
+}
+
+func TestFeedClose(t *testing.T) {
+	f := NewFeed()
+	f.Rotate(1, []byte(`{}`), 0, 0)
+	done := make(chan Batch, 1)
+	go func() { done <- f.WaitBatch(1, 0, 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	select {
+	case b := <-done:
+		if !b.Closed {
+			t.Fatalf("waiter got %+v, want Closed", b)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake the waiter")
+	}
+	// Post-close operations are inert.
+	f.Publish(recsOf("x"), 1, 0)
+	if b := f.WaitBatch(1, 0, 0); !b.Closed {
+		t.Fatalf("closed feed served %+v", b)
+	}
+}

@@ -1,0 +1,291 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// HTTP wire protocol. Three endpoints on the primary:
+//
+//	GET /replica/stream?gen=G&seq=N&session=S&applied=A&wait_ms=W
+//	    Long-poll tail. 200 with WAL-framed record payloads in the body and
+//	    batch metadata in X-Rlbf-* headers; 409 when the position is not in
+//	    the feed (bootstrap needed); 503 when the feed is closed. The
+//	    session/applied pair doubles as the durability ack that drives the
+//	    primary's semi-sync submit path.
+//	GET /replica/snapshot
+//	    Rotation snapshot of the current generation (JSON), for bootstrap.
+//	GET /replica/history?to=H
+//	    The first H history-log records, WAL-framed, so a bootstrapping
+//	    follower can verify and extend the derived record stream.
+//
+// Record payloads reuse the WAL's length+CRC32C framing (wal.AppendFrame /
+// wal.ParseFrames): a corrupted chunk fails checksum verification on the
+// follower and is re-requested, exactly like a torn disk frame would be
+// truncated.
+
+const (
+	pathStream   = "/replica/stream"
+	pathSnapshot = "/replica/snapshot"
+	pathHistory  = "/replica/history"
+
+	hdrGen        = "X-Rlbf-Gen"
+	hdrSeq        = "X-Rlbf-Seq"
+	hdrHistCount  = "X-Rlbf-Hist-Count"
+	hdrHistDigest = "X-Rlbf-Hist-Digest"
+	hdrNextGen    = "X-Rlbf-Next-Gen"
+
+	// maxWait caps the server-side long-poll so follower sessions refresh
+	// their liveness at least this often even when the primary is idle.
+	maxWait = time.Second
+)
+
+// Health is the /healthz wire body, shared by the serve daemon (writer) and
+// the replication/fencing probes (readers).
+type Health struct {
+	Status  string  `json:"status"`
+	Reason  string  `json:"reason,omitempty"`
+	Name    string  `json:"name"`
+	Role    string  `json:"role"`
+	Gen     uint64  `json:"gen"`
+	Applied int64   `json:"applied"` // WAL records in the current generation
+	LeaseMS float64 `json:"lease_ms,omitempty"`
+}
+
+// HistorySource serves the history-log prefix for follower bootstrap.
+type HistorySource interface {
+	// HistoryFrames returns the first `to` history records as encoded
+	// payloads (it may return more than requested; the client truncates).
+	HistoryFrames(to int) ([][]byte, error)
+}
+
+// Handler serves the replication endpoints for a primary's feed.
+type Handler struct {
+	feed *Feed
+	hist HistorySource
+}
+
+// NewHandler returns a handler over feed and hist.
+func NewHandler(feed *Feed, hist HistorySource) *Handler {
+	return &Handler{feed: feed, hist: hist}
+}
+
+// Register mounts the replication endpoints on mux.
+func (h *Handler) Register(mux *http.ServeMux) {
+	mux.HandleFunc(pathStream, h.handleStream)
+	mux.HandleFunc(pathSnapshot, h.handleSnapshot)
+	mux.HandleFunc(pathHistory, h.handleHistory)
+}
+
+func queryInt(q url.Values, key string) (int, error) {
+	v := q.Get(key)
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func (h *Handler) handleStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	gen, err1 := strconv.ParseUint(q.Get("gen"), 10, 64)
+	seq, err2 := queryInt(q, "seq")
+	applied, err3 := queryInt(q, "applied")
+	waitMS, err4 := queryInt(q, "wait_ms")
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || seq < 0 {
+		http.Error(w, "bad stream position", http.StatusBadRequest)
+		return
+	}
+	wait := min(time.Duration(waitMS)*time.Millisecond, maxWait)
+	h.feed.Ack(q.Get("session"), gen, applied)
+	b := h.feed.WaitBatch(gen, seq, wait)
+	switch {
+	case b.Closed:
+		http.Error(w, "feed closed", http.StatusServiceUnavailable)
+	case b.SnapshotNeeded:
+		http.Error(w, "position not in feed; bootstrap from snapshot", http.StatusConflict)
+	default:
+		w.Header().Set(hdrGen, strconv.FormatUint(b.Gen, 10))
+		w.Header().Set(hdrSeq, strconv.Itoa(b.Seq))
+		w.Header().Set(hdrHistCount, strconv.Itoa(b.HistCount))
+		w.Header().Set(hdrHistDigest, strconv.FormatUint(uint64(b.HistDigest), 16))
+		if b.NextGen != 0 {
+			w.Header().Set(hdrNextGen, strconv.FormatUint(b.NextGen, 10))
+		}
+		var buf []byte
+		for _, rec := range b.Records {
+			buf = wal.AppendFrame(buf, rec)
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(buf)
+	}
+}
+
+// SnapshotReply is the /replica/snapshot body.
+type SnapshotReply struct {
+	Gen        uint64          `json:"gen"`
+	HistCount  int             `json:"hist_count"`
+	HistDigest uint32          `json:"hist_digest"`
+	State      json.RawMessage `json:"state"`
+}
+
+func (h *Handler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	gen, snap, hc, hd := h.feed.Snapshot()
+	if snap == nil {
+		http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(SnapshotReply{Gen: gen, HistCount: hc, HistDigest: hd, State: snap})
+}
+
+func (h *Handler) handleHistory(w http.ResponseWriter, r *http.Request) {
+	to, err := queryInt(r.URL.Query(), "to")
+	if err != nil || to < 0 {
+		http.Error(w, "bad history bound", http.StatusBadRequest)
+		return
+	}
+	frames, err := h.hist.HistoryFrames(to)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if len(frames) > to {
+		frames = frames[:to]
+	}
+	var buf []byte
+	for _, rec := range frames {
+		buf = wal.AppendFrame(buf, rec)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf)
+}
+
+// Client is a follower's view of one primary endpoint.
+type Client struct {
+	// Base is the primary's base URL (e.g. http://host:port).
+	Base string
+	// Session identifies this follower in durability acks.
+	Session string
+	// HTTP is the transport; nil means http.DefaultClient. Tests inject a
+	// FaultTransport here.
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(path string) (*http.Response, error) {
+	return c.client().Get(strings.TrimRight(c.Base, "/") + path)
+}
+
+// Stream fetches the next batch at (gen, seq), reporting applied as this
+// follower's durably applied count of gen. A 409 maps to SnapshotNeeded; any
+// framing or checksum error is returned as err for the caller to retry.
+func (c *Client) Stream(gen uint64, seq, applied int, wait time.Duration) (*Batch, error) {
+	path := fmt.Sprintf("%s?gen=%d&seq=%d&applied=%d&session=%s&wait_ms=%d",
+		pathStream, gen, seq, applied, url.QueryEscape(c.Session), wait.Milliseconds())
+	resp, err := c.get(path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		return &Batch{SnapshotNeeded: true}, nil
+	default:
+		return nil, fmt.Errorf("replica: stream: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	b := &Batch{}
+	if b.Gen, err = strconv.ParseUint(resp.Header.Get(hdrGen), 10, 64); err != nil {
+		return nil, fmt.Errorf("replica: stream: bad %s header: %w", hdrGen, err)
+	}
+	if b.Seq, err = strconv.Atoi(resp.Header.Get(hdrSeq)); err != nil {
+		return nil, fmt.Errorf("replica: stream: bad %s header: %w", hdrSeq, err)
+	}
+	if b.HistCount, err = strconv.Atoi(resp.Header.Get(hdrHistCount)); err != nil {
+		return nil, fmt.Errorf("replica: stream: bad %s header: %w", hdrHistCount, err)
+	}
+	hd, err := strconv.ParseUint(resp.Header.Get(hdrHistDigest), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("replica: stream: bad %s header: %w", hdrHistDigest, err)
+	}
+	b.HistDigest = uint32(hd)
+	if ng := resp.Header.Get(hdrNextGen); ng != "" {
+		if b.NextGen, err = strconv.ParseUint(ng, 10, 64); err != nil {
+			return nil, fmt.Errorf("replica: stream: bad %s header: %w", hdrNextGen, err)
+		}
+	}
+	if b.Records, err = wal.ParseFrames(body); err != nil {
+		return nil, fmt.Errorf("replica: stream: %w", err)
+	}
+	return b, nil
+}
+
+// Snapshot fetches the bootstrap snapshot.
+func (c *Client) Snapshot() (*SnapshotReply, error) {
+	resp, err := c.get(pathSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: snapshot: %s", resp.Status)
+	}
+	var sn SnapshotReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("replica: snapshot: %w", err)
+	}
+	return &sn, nil
+}
+
+// History fetches the first `to` history records.
+func (c *Client) History(to int) ([][]byte, error) {
+	resp, err := c.get(fmt.Sprintf("%s?to=%d", pathHistory, to))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: history: %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return nil, err
+	}
+	frames, err := wal.ParseFrames(body)
+	if err != nil {
+		return nil, fmt.Errorf("replica: history: %w", err)
+	}
+	return frames, nil
+}
+
+// Health probes the peer's /healthz.
+func (c *Client) Health() (*Health, error) {
+	resp, err := c.get("/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("replica: healthz: %w", err)
+	}
+	return &h, nil
+}

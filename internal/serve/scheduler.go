@@ -18,13 +18,16 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log"
 	"maps"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/backfill"
 	"repro/internal/metrics"
+	"repro/internal/replica"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -84,6 +87,25 @@ type Config struct {
 	// FS abstracts the filesystem for fault-injection tests; nil = the real
 	// one.
 	FS wal.FS
+	// Lease is the failover lease: a follower that cannot make stream
+	// progress against its primary for this long promotes itself. Also
+	// advertised via /healthz so operators see the configured window. 0
+	// defaults to 3s.
+	Lease time.Duration
+	// Peers lists the other replicas' base URLs. A restarting primary
+	// probes them before recovery: any peer at a higher WAL generation
+	// means this daemon was failed over while down, and it fences itself.
+	Peers []string
+	// RoundBudget arms the stuck-round watchdog: if one scheduling pass
+	// (command handling plus its engine advance) exceeds the budget, the
+	// watchdog sets rlbf_round_stalled and logs a full goroutine dump.
+	// 0 disables.
+	RoundBudget time.Duration
+	// ReplAckTimeout bounds the semi-synchronous replication ack: with a
+	// live follower attached, submit/cancel acks wait up to this long for
+	// the follower to durably apply the record before degrading (for that
+	// ack) to asynchronous replication. 0 defaults to 1s.
+	ReplAckTimeout time.Duration
 }
 
 // applyWALDefaults resolves the durability defaults shared by the
@@ -98,6 +120,12 @@ func applyWALDefaults(cfg *Config) {
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = 4096
 	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 3 * time.Second
+	}
+	if cfg.ReplAckTimeout <= 0 {
+		cfg.ReplAckTimeout = time.Second
+	}
 }
 
 // Errors the command API returns.
@@ -106,7 +134,38 @@ var (
 	ErrDraining = errors.New("serve: draining, not accepting submissions")
 	// ErrStopped rejects every command after the scheduler loop has exited.
 	ErrStopped = errors.New("serve: scheduler stopped")
+	// ErrFollower rejects writes on a replica that is following a primary.
+	ErrFollower = errors.New("serve: not primary (following)")
+	// ErrFenced rejects writes on a fenced ex-primary: a peer holds a
+	// newer WAL generation, so accepting anything here would fork history.
+	ErrFenced = errors.New("serve: fenced: a newer primary generation exists")
+	// ErrNotFollower rejects Promote on a scheduler that is not following.
+	ErrNotFollower = errors.New("serve: promote: not a follower")
+	// ErrReplicaDivergence reports that applying the primary's stream
+	// produced a derived record stream whose digest differs from the
+	// primary's — determinism is broken and the replica must not be
+	// trusted (and in particular must never promote itself).
+	ErrReplicaDivergence = errors.New("serve: replica diverges from primary history digest")
 )
+
+// Replica roles. A scheduler is born a primary; NewFollower constructs
+// followers; Fence demotes a zombie primary.
+const (
+	RolePrimary int32 = iota
+	RoleFollower
+	RoleFenced
+)
+
+func roleName(r int32) string {
+	switch r {
+	case RoleFollower:
+		return "follower"
+	case RoleFenced:
+		return "fenced"
+	default:
+		return "primary"
+	}
+}
 
 // JobRequest is a client submission.
 type JobRequest struct {
@@ -173,6 +232,13 @@ type Stats struct {
 	WALSyncP99Ms    float64 `json:"wal_sync_p99_ms,omitempty"`
 	Shed            int64   `json:"shed,omitempty"`
 	Degraded        bool    `json:"degraded,omitempty"`
+	Role            string  `json:"role,omitempty"`
+	ReplFollowers   int     `json:"repl_followers,omitempty"`
+	ReplLag         int     `json:"repl_lag_records,omitempty"`
+	ReplAckTimeouts int64   `json:"repl_ack_timeouts,omitempty"`
+	FencedWrites    int64   `json:"fenced_writes,omitempty"`
+	Failovers       int64   `json:"failovers,omitempty"`
+	RoundStalls     int64   `json:"round_stalls,omitempty"`
 }
 
 type cmdKind int
@@ -185,13 +251,28 @@ const (
 	cmdSync
 	cmdSnapshot
 	cmdDrain
+	cmdApply
+	cmdPromote
+	cmdReseed
 )
 
 type command struct {
-	kind  cmdKind
-	req   JobRequest
-	id    int
-	reply chan reply
+	kind   cmdKind
+	req    JobRequest
+	id     int
+	batch  *applyBatch
+	reseed *bootstrapData
+	reply  chan reply
+}
+
+// applyBatch is one replication batch handed to the run goroutine: WAL
+// payloads to mirror and apply, the primary's history cursor at the batch
+// end, and an optional rotation to mirror afterwards.
+type applyBatch struct {
+	payloads   [][]byte
+	histCount  int
+	histDigest uint32
+	rotateTo   uint64
 }
 
 type reply struct {
@@ -200,6 +281,7 @@ type reply struct {
 	ok     bool
 	stats  Stats
 	state  *State
+	seq    int // follower position after a cmdApply
 	err    error
 }
 
@@ -225,14 +307,30 @@ type Scheduler struct {
 	degraded       atomic.Bool
 	degradedReason atomic.Value // string
 
+	// Replication. role is written by the run goroutine (promote) and by
+	// Fence; feed is the primary-side stream buffer (nil without a WAL).
+	// walGenA/walCount shadow the run-goroutine walGen/wlog.Records() for
+	// lock-free reads from /healthz and the fencing probes. roundT0 is the
+	// watchdog's start-of-round stamp (0 = idle).
+	role       atomic.Int32
+	leaderHint atomic.Value // string: primary base URL, set on followers
+	feed       *replica.Feed
+	walGenA    atomic.Uint64
+	walCount   atomic.Int64
+	roundT0    atomic.Int64
+	testSlow   func() // test hook: injected delay inside a round
+
 	// Everything below is owned by the run goroutine.
-	fs        wal.FS
-	wlog      *wal.Log // command write-ahead log; nil = WAL off or degraded
-	hlog      *wal.Log // append-only completed-record history
-	walGen    uint64
-	histCount int
-	encBuf    []byte
-	idem      map[string]int // idempotency key -> assigned job ID
+	fs         wal.FS
+	wlog       *wal.Log // command write-ahead log; nil = WAL off or degraded
+	hlog       *wal.Log // append-only completed-record history
+	walGen     uint64
+	histCount  int
+	histDigest uint32   // chained CRC32C over history payloads
+	repPend    [][]byte // WAL payloads appended since the last feed publish
+	replClock  int64    // furthest instant seen in applied batches (follower)
+	encBuf     []byte
+	idem       map[string]int // idempotency key -> assigned job ID
 
 	eng       *sim.Engine
 	pred      backfill.Predictor
@@ -267,6 +365,18 @@ type Scheduler struct {
 	mCompactions *metrics.Counter
 	mDegraded    *metrics.Gauge
 	hWALSync     *metrics.Histogram
+
+	mRole            *metrics.Gauge
+	mFenced          *metrics.Counter
+	mFailovers       *metrics.Counter
+	mReplFollowers   *metrics.Gauge
+	mReplLag         *metrics.Gauge
+	mReplPublished   *metrics.Counter
+	mReplAckTimeouts *metrics.Counter
+	mReplReseeds     *metrics.Counter
+	gLeaseAge        *metrics.FGauge
+	mRoundStalled    *metrics.Gauge
+	mRoundStalls     *metrics.Counter
 }
 
 // New prepares a scheduler over an empty cluster, initializing the
@@ -415,6 +525,20 @@ func newScheduler(cfg Config) (*Scheduler, error) {
 	s.mCompactions = s.reg.NewCounter("rlbf_wal_compactions_total", "WAL compaction rotations.")
 	s.mDegraded = s.reg.NewGauge("rlbf_degraded", "1 when durability has failed and scheduling continues in-memory.")
 	s.hWALSync = s.reg.NewHistogram("rlbf_wal_sync_seconds", "Wall time of one WAL fsync.", nil)
+	s.mRole = s.reg.NewGauge("rlbf_role", "Replica role: 0 primary, 1 follower, 2 fenced.")
+	s.mFenced = s.reg.NewCounter("rlbf_fenced_total", "Writes refused because this replica is fenced (a newer primary generation exists).")
+	s.mFailovers = s.reg.NewCounter("rlbf_failovers_total", "Promotions of this replica from follower to primary.")
+	s.mReplFollowers = s.reg.NewGauge("rlbf_repl_followers", "Follower sessions heard from within the liveness window.")
+	s.mReplLag = s.reg.NewGauge("rlbf_repl_lag_records", "Published WAL records not yet applied by the most advanced live follower.")
+	s.mReplPublished = s.reg.NewCounter("rlbf_repl_published_total", "WAL records published to the replication feed.")
+	s.mReplAckTimeouts = s.reg.NewCounter("rlbf_repl_ack_timeouts_total", "Semi-sync replication acks that timed out and degraded to async.")
+	s.mReplReseeds = s.reg.NewCounter("rlbf_repl_rebootstraps_total", "Follower in-place re-bootstraps after falling out of the primary's feed retention window.")
+	s.gLeaseAge = s.reg.NewFGauge("rlbf_lease_age_seconds", "Follower only: seconds since the last successful stream contact with the primary.")
+	s.mRoundStalled = s.reg.NewGauge("rlbf_round_stalled", "1 while a scheduling round has exceeded its watchdog budget.")
+	s.mRoundStalls = s.reg.NewCounter("rlbf_round_stalls_total", "Scheduling rounds that exceeded the watchdog budget.")
+	if cfg.WALPath != "" {
+		s.feed = replica.NewFeed()
+	}
 	return s, nil
 }
 
@@ -425,8 +549,92 @@ func (s *Scheduler) simConfig() sim.Config {
 // Registry returns the metrics registry the daemon reports into.
 func (s *Scheduler) Registry() *metrics.Registry { return s.reg }
 
-// Start launches the engine goroutine.
-func (s *Scheduler) Start() { go s.run() }
+// Feed returns the replication feed (nil without a WAL). The HTTP layer
+// mounts replica.NewHandler over it.
+func (s *Scheduler) Feed() *replica.Feed { return s.feed }
+
+// Role returns the replica role as a string (primary, follower, fenced).
+func (s *Scheduler) Role() string { return roleName(s.role.Load()) }
+
+// WALGen returns the current WAL generation — the fencing token. Safe for
+// concurrent use (it reads an atomic shadow of the run goroutine's state).
+func (s *Scheduler) WALGen() uint64 { return s.walGenA.Load() }
+
+// WALApplied returns the number of WAL records in the current generation,
+// for peer election comparisons. Safe for concurrent use.
+func (s *Scheduler) WALApplied() int64 { return s.walCount.Load() }
+
+// LeaderHint returns the primary's base URL as known to a follower, or "".
+func (s *Scheduler) LeaderHint() string {
+	if v, ok := s.leaderHint.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Fence demotes this replica to the fenced role: peerGen at peer exceeds the
+// local generation, meaning a follower was promoted while this daemon was
+// primary (or down). All subsequent writes are refused with ErrFenced and
+// counted in rlbf_fenced_total; reads keep working so operators can inspect
+// the zombie's final state.
+func (s *Scheduler) Fence(peer string, peerGen uint64) {
+	if s.role.Swap(RoleFenced) == RoleFenced {
+		return
+	}
+	if peer != "" {
+		s.leaderHint.Store(peer)
+	}
+	s.mRole.Set(int64(RoleFenced))
+	log.Printf("serve: %s: fenced: peer %s holds generation %d > local %d; refusing writes",
+		s.cfg.Name, peer, peerGen, s.WALGen())
+}
+
+// Start launches the engine goroutine and, when RoundBudget is set, the
+// stuck-round watchdog.
+func (s *Scheduler) Start() {
+	go s.run()
+	if s.cfg.RoundBudget > 0 {
+		go s.watchdog()
+	}
+}
+
+// beginRound stamps the start of one scheduling pass for the watchdog;
+// endRound clears it.
+func (s *Scheduler) beginRound() { s.roundT0.Store(time.Now().UnixNano()) }
+func (s *Scheduler) endRound()   { s.roundT0.Store(0) }
+
+// watchdog polls the current round's age and raises rlbf_round_stalled — with
+// a full goroutine dump in the log, so the stuck frame is captured while it
+// is stuck — when one scheduling pass exceeds RoundBudget. The gauge clears
+// when the round finally completes; each stalled round is reported once.
+func (s *Scheduler) watchdog() {
+	budget := s.cfg.RoundBudget
+	tick := max(budget/8, 5*time.Millisecond)
+	var reported int64
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-time.After(tick):
+		}
+		t0 := s.roundT0.Load()
+		if t0 == 0 || t0 != reported {
+			s.mRoundStalled.Set(0)
+		}
+		if t0 == 0 || t0 == reported {
+			continue
+		}
+		if age := time.Duration(time.Now().UnixNano() - t0); age > budget {
+			reported = t0
+			s.mRoundStalled.Set(1)
+			s.mRoundStalls.Inc()
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			log.Printf("serve: %s: scheduling round stalled: %v elapsed, budget %v; goroutine dump:\n%s",
+				s.cfg.Name, age.Round(time.Millisecond), budget, buf[:n])
+		}
+	}
+}
 
 // StartDraining flips the daemon into drain mode: subsequent submissions are
 // rejected with ErrDraining while cancellations and status queries keep
@@ -478,6 +686,37 @@ func (s *Scheduler) CaptureState() (*State, error) {
 	return r.state, err
 }
 
+// ApplyReplica mirrors one replication batch: the payloads are appended
+// verbatim to the local WAL, applied to the engine (re-deriving the same
+// schedule the primary computed), and the resulting history digest is
+// compared against the primary's. rotateTo, when non-zero, rotates the local
+// WAL to that generation afterwards, mirroring a primary compaction. It
+// returns the local record count of the current generation — the follower's
+// resumable stream position. Only meaningful on a follower.
+func (s *Scheduler) ApplyReplica(payloads [][]byte, histCount int, histDigest uint32, rotateTo uint64) (int, error) {
+	r, err := s.do(command{kind: cmdApply, batch: &applyBatch{
+		payloads: payloads, histCount: histCount, histDigest: histDigest, rotateTo: rotateTo,
+	}})
+	return r.seq, err
+}
+
+// Reseed replaces a follower's state with a fresh verified bootstrap from the
+// primary — the stream loop calls it when its position fell out of the
+// primary's feed retention window. Only meaningful on a follower.
+func (s *Scheduler) Reseed(b *bootstrapData) error {
+	_, err := s.do(command{kind: cmdReseed, reseed: b})
+	return err
+}
+
+// Promote turns a follower into the primary: the simulation clock re-anchors
+// at the furthest applied instant, the WAL generation is bumped (the fencing
+// token — a zombie ex-primary now probes a higher generation than its own
+// and fences itself), and writes are accepted from here on.
+func (s *Scheduler) Promote() error {
+	_, err := s.do(command{kind: cmdPromote})
+	return err
+}
+
 // Drain stops the scheduler loop: intake is closed, a final state snapshot
 // is captured (and written to SnapshotPath when configured), and every
 // subsequent command fails with ErrStopped. The returned state holds the
@@ -508,28 +747,42 @@ func (s *Scheduler) run() {
 	}
 	for {
 		var timerC <-chan time.Time
-		if t, ok := s.eng.NextEventTime(); ok {
-			if d := s.wallUntil(t); d <= 0 {
-				s.advanceTo(s.simNow())
-				continue
-			} else {
-				timerC = s.clock.After(d)
+		// Only a primary self-advances: followers and fenced zombies move
+		// their engines exclusively through applied stream batches, so their
+		// schedules stay byte-aligned with the primary's.
+		if s.role.Load() == RolePrimary {
+			if t, ok := s.eng.NextEventTime(); ok {
+				if d := s.wallUntil(t); d <= 0 {
+					s.beginRound()
+					s.advanceTo(s.simNow())
+					s.endRound()
+					continue
+				} else {
+					timerC = s.clock.After(d)
+				}
 			}
 		}
 		select {
 		case c := <-s.cmds:
-			if s.handle(c) {
+			s.beginRound()
+			stop := s.handle(c)
+			s.endRound()
+			if stop {
 				return
 			}
 			s.maybeCompact()
 		case <-timerC:
+			s.beginRound()
 			s.advanceTo(s.simNow())
+			s.endRound()
 			s.maybeCompact()
 		case <-snapC:
-			s.advanceTo(s.simNow())
+			s.beginRound()
+			s.advanceNow()
 			if st, err := s.captureState(); err == nil {
 				_ = s.writeSnapshot(st)
 			}
+			s.endRound()
 			snapC = s.clock.After(s.cfg.SnapshotEvery)
 		case <-s.killC:
 			// Test hook: die in place, like SIGKILL — no sync, no close, no
@@ -564,6 +817,18 @@ func (s *Scheduler) wallUntil(t int64) time.Duration {
 	return deadline.Sub(s.clock.Now())
 }
 
+// advanceNow advances a primary to the current simulation instant and
+// returns it. On a follower or fenced replica the engine only moves via the
+// replication stream, so reads are answered at the engine's own clock.
+func (s *Scheduler) advanceNow() int64 {
+	if s.role.Load() != RolePrimary {
+		return s.eng.Now()
+	}
+	now := s.simNow()
+	s.advanceTo(now)
+	return now
+}
+
 // advanceTo processes every engine event due at or before simulation instant
 // `now`, timing each event batch as one scheduling decision. When the
 // advance will fire events, it is logged to the WAL first, so replay reaches
@@ -584,6 +849,7 @@ func (s *Scheduler) advanceTo(now int64) {
 		s.mDecisions.Inc()
 	}
 	s.syncRecords()
+	s.publishRepl()
 	s.mQueue.Set(int64(s.eng.QueueLen()))
 	s.mFree.Set(int64(s.eng.FreeProcs()))
 	s.mRunning.Set(int64(s.eng.RunningCount()))
@@ -603,13 +869,19 @@ func (s *Scheduler) syncRecords() {
 
 // handle executes one command; it reports true when the loop must exit.
 func (s *Scheduler) handle(c command) bool {
+	if s.testSlow != nil {
+		s.testSlow()
+	}
 	switch c.kind {
 	case cmdSubmit:
 		sub, err := s.handleSubmit(c.req)
 		c.reply <- reply{sub: sub, err: err}
 	case cmdCancel:
-		now := s.simNow()
-		s.advanceTo(now)
+		if err := s.writeAllowed(); err != nil {
+			c.reply <- reply{err: err}
+			return false
+		}
+		now := s.advanceNow()
 		ok := false
 		if !s.canceledIDs[c.id] {
 			if _, startedAlready := s.started[c.id]; !startedAlready {
@@ -623,39 +895,63 @@ func (s *Scheduler) handle(c command) bool {
 				s.encBuf = encodeCancel(s.encBuf[:0], c.id, now)
 				s.walAppend(s.encBuf)
 				s.walSync()
+				s.publishRepl()
+				s.replWait()
 			}
 		}
 		c.reply <- reply{ok: ok}
 	case cmdStatus:
 		s.mStatus.Inc()
-		now := s.simNow()
-		s.advanceTo(now)
+		now := s.advanceNow()
 		c.reply <- reply{status: s.statusOf(c.id, now)}
 	case cmdStats:
-		s.advanceTo(s.simNow())
+		s.advanceNow()
 		c.reply <- reply{stats: s.statsLocked()}
 	case cmdSync:
-		s.advanceTo(s.simNow())
+		s.advanceNow()
 		c.reply <- reply{}
 	case cmdSnapshot:
-		s.advanceTo(s.simNow())
+		s.advanceNow()
 		st, err := s.captureState()
 		if err == nil {
 			err = s.writeSnapshot(st)
 		}
 		c.reply <- reply{state: st, err: err}
+	case cmdApply:
+		seq, err := s.handleApply(c.batch)
+		c.reply <- reply{seq: seq, err: err}
+	case cmdPromote:
+		c.reply <- reply{err: s.handlePromote()}
+	case cmdReseed:
+		c.reply <- reply{err: s.handleReseed(c.reseed)}
 	case cmdDrain:
 		s.draining.Store(true)
-		s.advanceTo(s.simNow())
+		s.advanceNow()
 		st, err := s.captureState()
 		if err == nil {
 			err = s.writeSnapshot(st)
 		}
 		s.closeWAL()
+		if s.feed != nil {
+			s.feed.Close()
+		}
 		c.reply <- reply{state: st, err: err}
 		return true
 	}
 	return false
+}
+
+// writeAllowed gates state-changing commands by role.
+func (s *Scheduler) writeAllowed() error {
+	switch s.role.Load() {
+	case RoleFollower:
+		return ErrFollower
+	case RoleFenced:
+		s.mFenced.Inc()
+		log.Printf("serve: %s: fenced: write refused (generation %d is stale)", s.cfg.Name, s.WALGen())
+		return ErrFenced
+	}
+	return nil
 }
 
 // handleSubmit admits one job at the current simulation instant. Events
@@ -666,6 +962,14 @@ func (s *Scheduler) handle(c command) bool {
 func (s *Scheduler) handleSubmit(req JobRequest) (SubmitResult, error) {
 	if s.draining.Load() {
 		return SubmitResult{}, ErrDraining
+	}
+	if err := s.writeAllowed(); err != nil {
+		return SubmitResult{}, err
+	}
+	// Defense in depth: the HTTP layer validates before decoding reaches
+	// here, but direct API users get the same contract.
+	if err := req.Validate(); err != nil {
+		return SubmitResult{}, err
 	}
 	if req.IdemKey != "" {
 		if id, ok := s.idem[req.IdemKey]; ok {
@@ -702,6 +1006,7 @@ func (s *Scheduler) handleSubmit(req JobRequest) (SubmitResult, error) {
 	}
 	s.advanceTo(now)
 	s.walSync() // the ack below must not outrun the disk
+	s.replWait()
 	s.mSubmits.Inc()
 	res := SubmitResult{ID: j.ID, Submit: now, PredictedStart: -1}
 	if rec, ok := s.started[j.ID]; ok {
@@ -809,6 +1114,13 @@ func (s *Scheduler) statsLocked() Stats {
 		WALSyncP99Ms:    s.hWALSync.Quantile(0.99) * 1000,
 		Shed:            s.mShed.Value(),
 		Degraded:        s.degraded.Load(),
+		Role:            s.Role(),
+		ReplFollowers:   int(s.mReplFollowers.Value()),
+		ReplLag:         int(s.mReplLag.Value()),
+		ReplAckTimeouts: s.mReplAckTimeouts.Value(),
+		FencedWrites:    s.mFenced.Value(),
+		Failovers:       s.mFailovers.Value(),
+		RoundStalls:     s.mRoundStalls.Value(),
 	}
 }
 

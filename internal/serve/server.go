@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/pool"
+	"repro/internal/replica"
 )
 
 // Server is the HTTP/JSON front end over a Scheduler. Request handling is
@@ -56,6 +57,12 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("/statz", sv.bounded(sv.handleStatz))
 	mux.HandleFunc("/metrics", sv.handleMetrics)
 	mux.HandleFunc("/healthz", sv.handleHealthz)
+	if feed := sv.sched.Feed(); feed != nil {
+		// Replication endpoints (stream/snapshot/history) for followers.
+		// Deliberately outside the admission semaphore: replication must keep
+		// flowing while client load is being shed.
+		replica.NewHandler(feed, sv.sched).Register(mux)
+	}
 	return mux
 }
 
@@ -89,23 +96,55 @@ func (sv *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	req, err := decodeJobRequest(w, r)
+	if err != nil {
+		writeValidation(w, err)
 		return
 	}
-	req.IdemKey = r.Header.Get("Idempotency-Key")
 	res, err := sv.sched.Submit(req)
+	if sv.writeRoleError(w, err) {
+		return
+	}
 	switch {
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, ErrStopped):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeValidation(w, err)
 	default:
 		writeJSON(w, http.StatusAccepted, res)
 	}
+}
+
+// writeRoleError maps replica-role refusals: a follower answers 503 with a
+// Retry-After and a leader hint so clients fail over; a fenced ex-primary
+// answers 409 — retrying here is pointless, the generation is stale for good.
+func (sv *Server) writeRoleError(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, ErrFollower):
+		w.Header().Set("Retry-After", "1")
+		if leader := sv.sched.LeaderHint(); leader != "" {
+			w.Header().Set("X-Rlbf-Leader", leader)
+		}
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return true
+	case errors.Is(err, ErrFenced):
+		httpError(w, http.StatusConflict, err.Error())
+		return true
+	}
+	return false
+}
+
+// writeValidation renders a validation failure as a structured 400 body
+// ({"error": ..., "field": ...}); other errors keep the plain error shape.
+func writeValidation(w http.ResponseWriter, err error) {
+	var ve *ValidationError
+	if errors.As(err, &ve) {
+		writeJSON(w, http.StatusBadRequest, ve)
+		return
+	}
+	httpError(w, http.StatusBadRequest, err.Error())
 }
 
 func (sv *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -129,6 +168,9 @@ func (sv *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, code, st)
 	case http.MethodDelete:
 		ok, err := sv.sched.CancelJob(id)
+		if sv.writeRoleError(w, err) {
+			return
+		}
 		if err != nil {
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 			return
@@ -157,20 +199,31 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sv.sched.Registry().WritePrometheus(w)
 }
 
-// handleHealthz reports liveness. Degraded (durability lost, scheduling
-// continues in-memory) still answers 200 so orchestrators don't kill a
-// daemon that is holding live jobs, but the status and reason flag it for
-// alerting; draining answers 503 so load balancers stop routing here.
+// handleHealthz reports liveness plus the replica position (name, role, WAL
+// generation, applied records) that peers' election and fencing probes read.
+// Degraded (durability lost, scheduling continues in-memory) still answers
+// 200 so orchestrators don't kill a daemon that is holding live jobs, but the
+// status and reason flag it for alerting; draining answers 503 so load
+// balancers stop routing here — the body still carries the position, because
+// a fencing probe against a draining peer must see its generation.
 func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if sv.sched.Draining() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
+	h := replica.Health{
+		Status:  "ok",
+		Name:    sv.sched.cfg.Name,
+		Role:    sv.sched.Role(),
+		Gen:     sv.sched.WALGen(),
+		Applied: sv.sched.WALApplied(),
+		LeaseMS: sv.sched.gLeaseAge.Value() * 1000,
 	}
-	if sv.sched.Degraded() {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "degraded", "reason": sv.sched.DegradedReason()})
-		return
+	code := http.StatusOK
+	switch {
+	case sv.sched.Draining():
+		h.Status, h.Reason = "draining", "draining"
+		code = http.StatusServiceUnavailable
+	case sv.sched.Degraded():
+		h.Status, h.Reason = "degraded", sv.sched.DegradedReason()
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, code, h)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

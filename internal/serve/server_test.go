@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/backfill"
+	"repro/internal/replica"
 	"repro/internal/sched"
 	"repro/internal/wal"
 )
@@ -243,42 +244,6 @@ func TestServeStatz(t *testing.T) {
 	}
 }
 
-// TestServeLoadgenSmoke runs the load harness end to end against a live
-// daemon: non-zero throughput, zero transport errors, sane latency report.
-func TestServeLoadgenSmoke(t *testing.T) {
-	s, _, ts := newTestDaemon(t, 256, 50000)
-	rep, err := RunLoad(LoadConfig{
-		BaseURL:     ts.URL,
-		Submitters:  32,
-		Duration:    400 * time.Millisecond,
-		StatusEvery: 3,
-		CancelEvery: 7,
-		Seed:        1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Errors != 0 {
-		t.Fatalf("loadgen transport errors: %d", rep.Errors)
-	}
-	if rep.Submitted == 0 || rep.Throughput <= 0 {
-		t.Fatalf("loadgen made no progress: %+v", rep)
-	}
-	if rep.SubmitP99Ms <= 0 || rep.SubmitP99Ms < rep.SubmitP50Ms {
-		t.Fatalf("implausible latency report: %+v", rep)
-	}
-	if rep.Server == nil || rep.Server.Accepted != rep.Submitted {
-		t.Fatalf("server accounting mismatch: client %d, server %+v", rep.Submitted, rep.Server)
-	}
-	st, err := s.Drain()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := int64(len(st.Records) + len(st.Queued) + len(st.Pending) + len(st.Canceled)); got != rep.Submitted {
-		t.Fatalf("drained state accounts for %d jobs, client submitted %d", got, rep.Submitted)
-	}
-}
-
 // TestServeIdempotencyHeader pins the HTTP contract of the Idempotency-Key
 // header: a replayed key gets the original job back and the daemon accepts
 // only one copy.
@@ -400,7 +365,7 @@ func TestServeHealthzDegraded(t *testing.T) {
 	ts := httptest.NewServer(sv.Handler())
 	defer ts.Close()
 
-	health := func() map[string]string {
+	health := func() replica.Health {
 		t.Helper()
 		r, err := http.Get(ts.URL + "/healthz")
 		if err != nil {
@@ -410,14 +375,14 @@ func TestServeHealthzDegraded(t *testing.T) {
 		if r.StatusCode != http.StatusOK {
 			t.Fatalf("healthz: %d, want 200", r.StatusCode)
 		}
-		var m map[string]string
-		if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		var h replica.Health
+		if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
 			t.Fatal(err)
 		}
-		return m
+		return h
 	}
-	if m := health(); m["status"] != "ok" {
-		t.Fatalf("healthy daemon reports %+v", m)
+	if h := health(); h.Status != "ok" || h.Role != "primary" || h.Gen == 0 {
+		t.Fatalf("healthy daemon reports %+v", h)
 	}
 
 	ffs.FailSyncsAfter(0)
@@ -425,9 +390,8 @@ func TestServeHealthzDegraded(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit during disk failure: %d %s (degraded mode must keep accepting)", resp.StatusCode, body)
 	}
-	m := health()
-	if m["status"] != "degraded" || m["reason"] == "" {
-		t.Fatalf("degraded daemon reports %+v", m)
+	if h := health(); h.Status != "degraded" || h.Reason == "" {
+		t.Fatalf("degraded daemon reports %+v", h)
 	}
 	r, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -443,63 +407,4 @@ func TestServeHealthzDegraded(t *testing.T) {
 	if _, err := s.Drain(); err != nil {
 		t.Fatal(err)
 	}
-}
-
-// TestServeLoadgenRetries pins the client-side robustness satellite: 5xx
-// responses are retried with backoff under stable idempotency keys, so a
-// flaky front end costs retries, not errors or duplicates.
-func TestServeLoadgenRetries(t *testing.T) {
-	var mu sync.Mutex
-	attempts := map[string]int{}
-	var ids atomic.Int64
-	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/v1/jobs" || r.Method != http.MethodPost {
-			http.NotFound(w, r)
-			return
-		}
-		key := r.Header.Get("Idempotency-Key")
-		if key == "" {
-			t.Error("submission without an idempotency key")
-		}
-		mu.Lock()
-		attempts[key]++
-		n := attempts[key]
-		mu.Unlock()
-		if n > 2 {
-			t.Errorf("key %s attempted %d times; one failure should cost one retry", key, n)
-		}
-		if n == 1 {
-			// First attempt of every logical submission fails.
-			httpError(w, http.StatusInternalServerError, "transient")
-			return
-		}
-		writeJSON(w, http.StatusAccepted, SubmitResult{ID: int(ids.Add(1)), PredictedStart: -1})
-	})
-	ts := httptest.NewServer(h)
-	defer ts.Close()
-
-	rep, err := RunLoad(LoadConfig{
-		BaseURL:    ts.URL,
-		Submitters: 4,
-		Duration:   300 * time.Millisecond,
-		Retries:    3,
-		Seed:       7,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Errors != 0 {
-		t.Fatalf("errors %d with retries enabled, want 0", rep.Errors)
-	}
-	if rep.Submitted == 0 {
-		t.Fatalf("no submissions made it through: %+v", rep)
-	}
-	if rep.Retries < rep.Submitted {
-		t.Fatalf("retries %d < submitted %d; every submission needed one retry", rep.Retries, rep.Submitted)
-	}
-	// rep.Rejected is deliberately unchecked: submissions issued near the run
-	// deadline fail their first attempt and cannot retry without sleeping
-	// past the deadline, so the client correctly gives up on them and the
-	// tail of the run accumulates rejections. The handler-side attempt
-	// counter above is the real retry-discipline assertion.
 }

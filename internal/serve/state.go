@@ -70,6 +70,36 @@ func writeStateFS(fs wal.FS, path string, st *State) error {
 	return wal.WriteFileAtomic(fs, path, data)
 }
 
+// marshalState renders the snapshot JSON once, for callers that both persist
+// it and hand it to the replication feed.
+func marshalState(st *State) ([]byte, error) {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("serve: marshal state: %v", err)
+	}
+	return data, nil
+}
+
+// parseState validates snapshot bytes (the wire twin of readStateFS, used
+// when the snapshot arrives over the replication bootstrap instead of from
+// disk).
+func parseState(data []byte) (*State, error) {
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("serve: parse state: %v", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("serve: state has version %d, this build understands %d", st.Version, stateVersion)
+	}
+	if st.Procs <= 0 {
+		return nil, fmt.Errorf("serve: state has non-positive machine size %d", st.Procs)
+	}
+	if st.NextID < 1 {
+		st.NextID = 1
+	}
+	return &st, nil
+}
+
 // ReadState loads and validates a snapshot written by WriteState.
 func ReadState(path string) (*State, error) {
 	return readStateFS(wal.OSFS{}, path)

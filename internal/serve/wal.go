@@ -190,6 +190,26 @@ func (s *Scheduler) degrade(op string, err error) {
 		s.hlog = nil
 	}
 	log.Printf("serve: %s: durability lost (%s); continuing degraded in-memory", s.cfg.Name, reason)
+	if s.feed != nil {
+		// A degraded daemon cannot replicate (its WAL no longer advances).
+		// With a live follower attached the follower holds the complete
+		// acked history, so the right move is to stand down and let the
+		// lease expiry promote it — continuing to accept writes here would
+		// fork history the moment it does. Without followers, degraded
+		// in-memory service remains the lesser evil.
+		if s.feed.HasFollower(replLiveWindow(s.cfg)) && s.role.CompareAndSwap(RolePrimary, RoleFenced) {
+			s.mRole.Set(int64(RoleFenced))
+			log.Printf("serve: %s: durability lost with a live follower attached; self-fencing so the follower can take over", s.cfg.Name)
+		}
+		s.feed.Close()
+	}
+}
+
+// replLiveWindow is how recently a follower session must have been heard
+// from to count as alive. Stream long-polls are capped at one second
+// server-side, so a healthy follower refreshes well inside this window.
+func replLiveWindow(cfg Config) time.Duration {
+	return max(3*cfg.ReplAckTimeout, 3*time.Second)
 }
 
 // Degraded reports whether the durability layer has failed and the daemon is
@@ -204,7 +224,10 @@ func (s *Scheduler) DegradedReason() string {
 	return ""
 }
 
-// walAppend frames one record into the WAL; failures degrade.
+// walAppend frames one record into the WAL; failures degrade. The payload is
+// also queued (copied — callers reuse encBuf) for the replication feed,
+// published at the next round boundary so batch ends line up with history
+// digest samples.
 func (s *Scheduler) walAppend(payload []byte) {
 	if s.wlog == nil {
 		return
@@ -213,8 +236,12 @@ func (s *Scheduler) walAppend(payload []byte) {
 		s.degrade("wal append", err)
 		return
 	}
+	if s.feed != nil {
+		s.repPend = append(s.repPend, append([]byte(nil), payload...))
+	}
 	s.mWALRecords.Inc()
 	s.mWALBytes.Set(s.wlog.Size())
+	s.walCount.Store(int64(s.wlog.Records()))
 }
 
 // walAdvance logs a clock advance that is about to fire engine events, so
@@ -254,15 +281,18 @@ func (s *Scheduler) walHistory(r metrics.Record) {
 		return
 	}
 	s.histCount++
+	s.histDigest = wal.Digest(s.histDigest, s.encBuf)
 }
 
 // maybeCompact rotates the durability files once the WAL has accumulated
 // CompactEvery records: sync history, atomically write a fresh live-state
 // snapshot (generation g+1), then truncate the WAL by creating generation
 // g+1. Both the per-snapshot write cost (O(live state)) and recovery replay
-// (O(records since snapshot)) stay bounded instead of O(history).
+// (O(records since snapshot)) stay bounded instead of O(history). Followers
+// never compact on their own — their rotations mirror the primary's via the
+// stream, keeping generation numbers (the fencing tokens) aligned.
 func (s *Scheduler) maybeCompact() {
-	if s.wlog == nil || s.wlog.Records() < s.cfg.CompactEvery {
+	if s.wlog == nil || s.wlog.Records() < s.cfg.CompactEvery || s.role.Load() != RolePrimary {
 		return
 	}
 	s.compact()
@@ -273,10 +303,18 @@ func (s *Scheduler) maybeCompact() {
 // snapshot+WAL pair is intact; between rename and rotation the new snapshot
 // supersedes the old WAL, whose generation now reads as stale and is
 // discarded on recovery.
-func (s *Scheduler) compact() {
+func (s *Scheduler) compact() { s.compactTo(s.walGen + 1) }
+
+// compactTo rotates to an explicit generation: the primary always targets
+// walGen+1; a follower mirrors whatever generation the primary's stream
+// announces.
+func (s *Scheduler) compactTo(gen uint64) {
 	if s.degraded.Load() {
 		return
 	}
+	// Publish any pending records first so the feed's previous-generation
+	// buffer is complete before it rotates.
+	s.publishRepl()
 	if s.hlog != nil {
 		if err := s.hlog.Sync(); err != nil {
 			s.degrade("history sync", err)
@@ -288,26 +326,41 @@ func (s *Scheduler) compact() {
 		s.degrade("capture state", err)
 		return
 	}
-	st.WALGen = s.walGen + 1
+	st.WALGen = gen
 	st.WALRecords = 0
 	st.Records = nil // the history log owns the record stream
-	if err := writeStateFS(s.fs, s.cfg.SnapshotPath, st); err != nil {
+	data, err := marshalState(st)
+	if err != nil {
+		s.degrade("snapshot marshal", err)
+		return
+	}
+	if err := wal.WriteFileAtomic(s.fs, s.cfg.SnapshotPath, data); err != nil {
 		s.degrade("snapshot write", err)
 		return
 	}
 	if s.wlog != nil {
 		s.wlog.Close()
 	}
-	wl, err := wal.Create(s.fs, s.cfg.WALPath, s.walGen+1)
+	wl, err := wal.Create(s.fs, s.cfg.WALPath, gen)
 	if err != nil {
 		s.wlog = nil
 		s.degrade("wal rotate", err)
 		return
 	}
 	s.wlog = wl
-	s.walGen++
+	s.setGen(gen)
+	s.walCount.Store(0)
 	s.mCompactions.Inc()
 	s.mWALBytes.Set(wl.Size())
+	if s.feed != nil {
+		s.feed.Rotate(gen, data, s.histCount, s.histDigest)
+	}
+}
+
+// setGen updates the run goroutine's generation and its atomic shadow.
+func (s *Scheduler) setGen(gen uint64) {
+	s.walGen = gen
+	s.walGenA.Store(gen)
 }
 
 // writeSnapshot persists the current state outside the rotation path (the
@@ -418,6 +471,25 @@ var ErrReplayDivergence = errors.New("serve: wal replay diverges from history lo
 // — a daemon that crashed before its first snapshot recovers from whatever
 // subset exists.
 func Recover(cfg Config) (*Scheduler, *RecoveryInfo, error) {
+	return recoverInternal(cfg, true)
+}
+
+// RecoverFenced is Recover for a daemon that already knows a peer holds a
+// newer generation (FenceCheck): it rebuilds state for read service but skips
+// the final compaction, so an unreplicated WAL tail is NOT rebased into a
+// fresh generation that could tie with — while forking from — the promoted
+// peer's lineage. The on-disk generation stays visibly stale, which lets a
+// later -follow restart detect it and re-bootstrap from the new primary
+// instead of resuming a forked history.
+func RecoverFenced(cfg Config) (*Scheduler, *RecoveryInfo, error) {
+	return recoverInternal(cfg, false)
+}
+
+// recoverInternal is Recover with the final compaction optional: a primary
+// always compacts (bumping the generation, which doubles as taking a fresh
+// fencing token); a restarting follower must NOT — its generation has to
+// keep matching the primary's so the stream resumes in place.
+func recoverInternal(cfg Config, compactAfter bool) (*Scheduler, *RecoveryInfo, error) {
 	t0 := time.Now()
 	if cfg.WALPath == "" {
 		return nil, nil, errors.New("serve: Recover requires Config.WALPath")
@@ -499,8 +571,10 @@ func Recover(cfg Config) (*Scheduler, *RecoveryInfo, error) {
 		}
 	}
 	var cmds [][]byte
-	switch wres, err := wal.Replay(fs, cfg.WALPath); {
+	var wres *wal.ReplayResult
+	switch res, err := wal.Replay(fs, cfg.WALPath); {
 	case err == nil:
+		wres = res
 		info.TornWAL = wres.Torn
 		switch {
 		case wres.Gen == gen:
@@ -509,6 +583,7 @@ func Recover(cfg Config) (*Scheduler, *RecoveryInfo, error) {
 			}
 		case wres.Gen < gen:
 			// Pre-rotation log; everything in it is inside the snapshot.
+			wres = nil
 		default:
 			return nil, nil, fmt.Errorf("serve: wal generation %d is newer than snapshot generation %d — refusing to guess", wres.Gen, gen)
 		}
@@ -606,6 +681,10 @@ func Recover(cfg Config) (*Scheduler, *RecoveryInfo, error) {
 	}
 	s.hlog = hl
 	s.histCount = keep
+	s.histDigest = 0
+	for _, p := range hres.Records[:keep] {
+		s.histDigest = wal.Digest(s.histDigest, p)
+	}
 	for _, r := range rederived[common:] {
 		s.walHistory(r)
 		info.HistoryAppended++
@@ -626,14 +705,33 @@ func Recover(cfg Config) (*Scheduler, *RecoveryInfo, error) {
 		maxClock = st.SimClock
 	}
 	s.simEpoch = maxClock
-	s.walGen = gen
+	s.replClock = maxClock
+	s.setGen(gen)
 
-	// 9. Compact immediately: the next crash recovers from a fresh snapshot
-	// and an empty WAL instead of re-replaying this tail, which keeps
-	// crash-loop recovery time bounded.
-	s.compact()
-	if s.degraded.Load() {
-		return nil, nil, fmt.Errorf("serve: post-recovery compaction: %s", s.DegradedReason())
+	if compactAfter {
+		// 9. Compact immediately: the next crash recovers from a fresh
+		// snapshot and an empty WAL instead of re-replaying this tail, which
+		// keeps crash-loop recovery time bounded.
+		s.compact()
+		if s.degraded.Load() {
+			return nil, nil, fmt.Errorf("serve: post-recovery compaction: %s", s.DegradedReason())
+		}
+	} else {
+		// 9'. Follower restart: reopen the WAL in place (torn tail repaired)
+		// so the stream resumes at (gen, record count) instead of forking a
+		// new generation.
+		var wl *wal.Log
+		if wres != nil {
+			wl, err = wal.OpenAppend(fs, cfg.WALPath, wres)
+		} else {
+			wl, err = wal.Create(fs, cfg.WALPath, gen)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: reopen wal: %w", err)
+		}
+		s.wlog = wl
+		s.walCount.Store(int64(wl.Records()))
+		s.mWALBytes.Set(wl.Size())
 	}
 	info.WALGen = s.walGen
 	info.Elapsed = time.Since(t0)

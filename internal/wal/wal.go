@@ -37,6 +37,11 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // trusted.
 var ErrCorruptHeader = errors.New("wal: corrupt or incompatible log header")
 
+// ErrBadFrame reports a damaged frame inside an all-or-nothing message
+// (see ParseFrames). The replication transport matches on it to distinguish
+// in-flight corruption — re-request the chunk — from protocol errors.
+var ErrBadFrame = errors.New("wal: bad frame")
+
 // Log is an append-only record log. It is not safe for concurrent use; the
 // serve daemon's single-writer loop is the intended caller.
 type Log struct {
@@ -115,16 +120,76 @@ func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecord {
 		return fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), MaxRecord)
 	}
-	l.buf = l.buf[:0]
-	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(len(payload)))
-	l.buf = binary.LittleEndian.AppendUint32(l.buf, crc32.Checksum(payload, castagnoli))
-	l.buf = append(l.buf, payload...)
+	l.buf = AppendFrame(l.buf[:0], payload)
 	if _, err := l.f.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: append %s: %w", l.path, err)
 	}
 	l.records++
 	l.size += int64(len(l.buf))
 	return nil
+}
+
+// AppendFrame appends one length+CRC framed payload to buf and returns the
+// extended slice. This is the log's on-disk record framing, reused verbatim
+// by the replication stream so a follower can checksum-verify every chunk it
+// receives over the network with the same code path that guards the disk.
+func AppendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// ParseFrames strictly decodes a concatenation of frames produced by
+// AppendFrame. Unlike Replay — which tolerates a torn tail because crashes
+// legitimately leave one — a network message is all-or-nothing: any short,
+// oversized or checksum-failing frame is an error and the caller should
+// discard the whole message and re-request it. The returned payload slices
+// alias data.
+func ParseFrames(data []byte) ([][]byte, error) {
+	var out [][]byte
+	off := 0
+	for off < len(data) {
+		if off+frameSize > len(data) {
+			return nil, fmt.Errorf("%w: truncated frame header at offset %d", ErrBadFrame, off)
+		}
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if length > MaxRecord {
+			return nil, fmt.Errorf("%w: implausible frame length %d at offset %d", ErrBadFrame, length, off)
+		}
+		if off+frameSize+length > len(data) {
+			return nil, fmt.Errorf("%w: frame of %d bytes runs past end of message at offset %d", ErrBadFrame, length, off)
+		}
+		payload := data[off+frameSize : off+frameSize+length]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return nil, fmt.Errorf("%w: frame checksum mismatch at offset %d", ErrBadFrame, off)
+		}
+		out = append(out, payload)
+		off += frameSize + length
+	}
+	return out, nil
+}
+
+// Digest extends a running CRC32C digest with one payload. The serve layer
+// chains it over every history-log record, giving primaries and followers a
+// cheap incremental fingerprint of the full derived record stream to compare
+// during replication.
+func Digest(sum uint32, payload []byte) uint32 {
+	return crc32.Update(sum, castagnoli, payload)
+}
+
+// PeekGen reads just the generation stamped in the log header at path — the
+// fencing handshake needs the on-disk generation before any recovery has
+// run.
+func PeekGen(fs FS, path string) (uint64, error) {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < headerSize || [8]byte(data[:8]) != magic {
+		return 0, fmt.Errorf("%w: %s", ErrCorruptHeader, path)
+	}
+	return binary.LittleEndian.Uint64(data[8:16]), nil
 }
 
 // Sync makes every appended record crash-durable.
